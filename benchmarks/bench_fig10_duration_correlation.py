@@ -1,0 +1,68 @@
+"""Figure 10: RTT impact vs attack duration.
+
+Paper: durations are bimodal with modes near 15 minutes and 1 hour;
+high-impact attacks concentrate in those bands; long attacks trend
+ineffective — with the 19-hour, 30x Contabo attack as the exception.
+"""
+
+from repro.core.correlation import (
+    analyze_correlation,
+    attack_duration_modes,
+    duration_impact_buckets,
+)
+from repro.util.plot import ascii_scatter
+from repro.util.tables import Table
+from repro.util.timeutil import HOUR, MINUTE
+
+
+def regenerate(study):
+    corr = analyze_correlation(study.events)
+    modes = attack_duration_modes(
+        [c.attack for c in study.join.dns_direct_attacks])
+    buckets = duration_impact_buckets(study.events)
+    return corr, modes, buckets
+
+
+def test_fig10_duration_correlation(benchmark, study, emit):
+    corr, modes, buckets = benchmark(regenerate, study)
+
+    table = Table(["duration bucket", "events", ">=10x impact"],
+                  title="Figure 10 - impact by attack duration "
+                        "(paper: high impact concentrates at 15 min - "
+                        "a few hours; long attacks trend ineffective)")
+    for label, n, high in buckets:
+        table.add_row([label, n, high])
+    mode_text = ", ".join(f"{m / 60:.0f} min" for m in modes)
+    lines = [table.render(), "",
+             f"duration modes: {mode_text} (paper: ~15 min and ~60 min)"]
+    if corr.longest_high_impact:
+        company, duration, impact = corr.longest_high_impact
+        lines.append(f"longest high-impact event: {company}, "
+                     f"{duration / 3600:.1f} h, {impact:.0f}x "
+                     f"(paper: Contabo, 19 h, 30x)")
+    xs = [e.duration_s / 60 for e in study.events
+          if e.mean_impact is not None]
+    ys = [max(e.mean_impact, 0.1) for e in study.events
+          if e.mean_impact is not None]
+    lines.append("")
+    lines.append(ascii_scatter(
+        xs, ys, log_x=True, log_y=True, width=64, height=16,
+        x_label="duration (min)", y_label="impact",
+        title="Figure 10 shape - impact vs attack duration"))
+    emit("fig10_duration_correlation", "\n".join(lines))
+
+    # Bimodal durations with the first mode in the minutes-to-an-hour
+    # band.
+    assert modes
+    assert 8 * MINUTE < modes[0] < 90 * MINUTE
+    if len(modes) > 1:
+        assert modes[1] > modes[0]
+    # High-impact events exist and none of the typical ones last >12h...
+    total_high = sum(high for _, _, high in buckets)
+    assert total_high > 0
+    # ...except the Contabo outlier, which the paper singles out.
+    assert corr.longest_high_impact is not None
+    company, duration, impact = corr.longest_high_impact
+    assert company == "Contabo"
+    assert 17 * HOUR < duration < 21 * HOUR
+    assert 10 < impact < 120

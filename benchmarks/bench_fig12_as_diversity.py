@@ -1,0 +1,43 @@
+"""Figure 12: AS diversity as a resilience technique.
+
+Paper: AS diversity alone does not provide clear protection (multi-AS
+NSSets still see impact), but complete failures concentrate on
+single-ASN deployments (81%).
+"""
+
+from repro.core.resilience import analyze_resilience
+from repro.util.tables import Table, format_pct
+
+
+def test_fig12_as_diversity(benchmark, study, emit):
+    res = benchmark(analyze_resilience, study.events)
+
+    table = Table(["stratum", "events", "median impact", ">=10x share",
+                   "failing share"],
+                  title="Figure 12 - AS diversity "
+                        "(paper: no clear protection alone; 81% of "
+                        "complete failures single-ASN)")
+    for label in sorted(res.by_asn_count):
+        stats = res.by_asn_count[label]
+        median = f"{stats.median_impact:.2f}x" if stats.median_impact else "-"
+        table.add_row([label, stats.n_events, median,
+                       format_pct(stats.over_10x_share),
+                       format_pct(stats.failing_share)])
+    failures = study.failures
+    table.caption = (f"failing events on a single ASN: "
+                     f"{format_pct(failures.single_asn_share_of_failing)} "
+                     f"(paper: 81%)")
+    emit("fig12_as_diversity", table.render())
+
+    single = res.by_asn_count.get("1 ASN")
+    assert single is not None
+    multi_labels = [l for l in res.by_asn_count if l != "1 ASN"]
+    assert multi_labels, "multi-AS NSSets must exist (secondary providers)"
+    # Failures concentrate on single-ASN deployments.
+    assert failures.single_asn_share_of_failing > 0.6
+    # Multi-AS is not a magic shield: its events still show some impact
+    # (the paper's "no clear link" finding) — median exists and is >= 1.
+    for label in multi_labels:
+        stats = res.by_asn_count[label]
+        if stats.impacts:
+            assert stats.median_impact >= 1.0

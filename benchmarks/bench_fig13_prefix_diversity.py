@@ -1,0 +1,49 @@
+"""Figure 13: /24 prefix diversity as a resilience technique.
+
+Paper: a single /24 is the worst deployment choice (shared upstream
+infrastructure fails together); two or more prefixes contribute
+significantly; 60% of failing NSSets were single-prefix; among complete
+failures, ~30% used two prefixes and only ~10% three or more.
+"""
+
+from repro.core.resilience import analyze_resilience, complete_failure_prefix_shares
+from repro.util.tables import Table, format_pct
+
+
+def regenerate(study):
+    return (analyze_resilience(study.events),
+            complete_failure_prefix_shares(study.events))
+
+
+def test_fig13_prefix_diversity(benchmark, study, emit):
+    res, complete_shares = benchmark(regenerate, study)
+
+    table = Table(["stratum", "events", "median impact", ">=10x share",
+                   "failing share"],
+                  title="Figure 13 - /24 prefix diversity "
+                        "(paper: single /24 is the worst choice)")
+    for label in sorted(res.by_prefix_count):
+        stats = res.by_prefix_count[label]
+        median = f"{stats.median_impact:.2f}x" if stats.median_impact else "-"
+        table.add_row([label, stats.n_events, median,
+                       format_pct(stats.over_10x_share),
+                       format_pct(stats.failing_share)])
+    failures = study.failures
+    shares_text = ", ".join(f"{k}: {format_pct(v)}"
+                            for k, v in complete_shares.items())
+    table.caption = (
+        f"failing single-/24 share: "
+        f"{format_pct(failures.single_prefix_share_of_failing)} (paper 60%) | "
+        f"complete failures by prefix count: {shares_text or 'none'} "
+        f"(paper: most on 1, ~30% on 2, ~10% on 3+)")
+    emit("fig13_prefix_diversity", table.render())
+
+    single = res.by_prefix_count.get("1 /24")
+    assert single is not None and single.n_events > 0
+    # Single-/24 NSSets fail at a higher rate than multi-prefix ones.
+    multi_failing = [res.by_prefix_count[l].failing_share
+                     for l in res.by_prefix_count if l != "1 /24"]
+    assert single.failing_share >= max(multi_failing) * 0.8 or \
+        single.failing_share > 0.10
+    # A substantial share of failing events are single-prefix.
+    assert failures.single_prefix_share_of_failing > 0.25

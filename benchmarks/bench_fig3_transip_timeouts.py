@@ -1,0 +1,46 @@
+"""Figure 3: timeout errors during the TransIP attacks.
+
+Paper: ~20% of OpenINTEL queries timed out during the March 2021 attack,
+causing actual resolution failures for end users; December's timeout
+share was negligible.
+"""
+
+from repro.core.metrics import impact_series
+from repro.util.tables import Table
+from repro.util.timeutil import Window, format_ts, parse_ts
+
+DEC_WINDOW = Window(parse_ts("2020-11-30 22:00"), parse_ts("2020-12-01 00:00"))
+MAR_WINDOW = Window(parse_ts("2021-03-01 19:00"), parse_ts("2021-03-02 01:00"))
+
+
+def regenerate(study):
+    record = next(d for d in study.world.directory.domains
+                  if d.provider_name == "TransIP" and not d.misconfig
+                  and d.secondary_provider is None)
+    dec = impact_series(study.store, record.nsset_id, DEC_WINDOW)
+    mar = impact_series(study.store, record.nsset_id, MAR_WINDOW)
+    return dec, mar
+
+
+def test_fig3_transip_timeouts(benchmark, transip_study, emit):
+    dec, mar = benchmark(regenerate, transip_study)
+
+    table = Table(["attack", "measured", "timeouts", "timeout rate", "paper"],
+                  title="Figure 3 - TransIP timeout errors")
+    table.add_row(["December 2020", dec.n_measured, dec.n_timeouts,
+                   f"{dec.failure_rate:.1%}", "negligible"])
+    table.add_row(["March 2021", mar.n_measured, mar.n_timeouts,
+                   f"{mar.failure_rate:.1%}", "~20% of observed domains"])
+    lines = [table.render(), "",
+             "March per-bucket timeout-rate series:"]
+    for point in mar.points:
+        if point.n:
+            bar = "#" * int(40 * (point.n - point.ok) / point.n)
+            lines.append(f"  {format_ts(point.ts)}  "
+                         f"{(point.n - point.ok) / point.n:6.1%}  {bar}")
+    emit("fig3_transip_timeouts", "\n".join(lines))
+
+    # December: negligible timeouts. March: ~20%.
+    assert dec.failure_rate < 0.08
+    assert 0.08 < mar.failure_rate < 0.40
+    assert mar.failure_rate > dec.failure_rate * 2

@@ -1,0 +1,45 @@
+"""Table 1: RSDoS dataset summary (attacks, victim IPs, /24s, ASes).
+
+Paper: 4,039,485 attacks | 1,022,102 IPs | 404,076 /24s | 25,821 ASes
+over Nov 2020 - Mar 2022. Absolute counts scale with the configured
+attack volume; the *ratios* (IPs per attack, /24s per IP, ASes per IP)
+are the scale-invariant shape.
+"""
+
+from repro.core.longitudinal import dataset_totals
+from repro.util.tables import Table
+
+PAPER = {"attacks": 4_039_485, "ips": 1_022_102,
+         "slash24s": 404_076, "ases": 25_821}
+
+
+def regenerate(study):
+    totals = dataset_totals(study.feed.attacks)
+    ases = {study.metadata.prefix2as.lookup(a.victim_ip)
+            for a in study.feed.attacks}
+    ases.discard(None)
+    totals["ases"] = len(ases)
+    return totals
+
+
+def test_table1_rsdos_dataset(benchmark, study, emit):
+    totals = benchmark(regenerate, study)
+
+    scale = totals["attacks"] / PAPER["attacks"]
+    table = Table(["metric", "paper", "measured", "paper ratio", "measured ratio"],
+                  title="Table 1 - RSDoS dataset (absolute counts scale "
+                        f"by ~{scale:.4f}; ratios are shape)")
+    for key, label, denom in (("attacks", "#Attacks", None),
+                              ("ips", "#IPs", "attacks"),
+                              ("slash24s", "#/24 Prefixes", "ips"),
+                              ("ases", "#ASes", "ips")):
+        paper_ratio = f"{PAPER[key] / PAPER[denom]:.3f}" if denom else "-"
+        measured_ratio = f"{totals[key] / totals[denom]:.3f}" if denom else "-"
+        table.add_row([label, PAPER[key], totals[key],
+                       paper_ratio, measured_ratio])
+    emit("table1_rsdos_dataset", table.render())
+
+    # Shape assertions: victims per attack and /24 consolidation.
+    assert 0.05 < totals["ips"] / totals["attacks"] < 0.8
+    assert totals["slash24s"] <= totals["ips"]
+    assert totals["ases"] <= totals["slash24s"]

@@ -1,0 +1,64 @@
+"""Table 5: top attacked IPs, exposing the open-resolver phenomenon.
+
+Paper's top 10: 8.8.4.4 (2,803) | UL-shared (2,566, redacted) |
+8.8.8.8 (2,298) | 1.1.1.1 (1,118) | 204.79.197.200 Bing (668) |
+194.67.7.1 Beeline (481) | 13.107.21.200 Bing (438) | NAS (400) |
+private (346) | 23.227.38.32 Cloudflare (273). Public resolvers appear
+because misconfigured domains use them as NS; the paper filters them
+before impact analysis.
+"""
+
+from repro.core.topasn import top_attacked_ips
+from repro.util.tables import Table
+
+PAPER_ROWS = [("8.8.4.4", 2803, "Google DNS"),
+              ("REDACTED", 2566, "Unified Layer"),
+              ("8.8.8.8", 2298, "Google DNS"),
+              ("1.1.1.1", 1118, "CloudFlare DNS"),
+              ("204.79.197.200", 668, "Bing"),
+              ("194.67.7.1", 481, "Beeline RU"),
+              ("13.107.21.200", 438, "Bing"),
+              ("REDACTED", 400, "Company NAS"),
+              ("REDACTED", 346, "Private IP"),
+              ("23.227.38.32", 273, "Cloudflare")]
+
+
+def regenerate(study):
+    unfiltered = top_attacked_ips(study.join, study.metadata,
+                                  study.open_resolvers, 10)
+    filtered = top_attacked_ips(study.join, study.metadata,
+                                study.open_resolvers, 10, filtered=True)
+    return unfiltered, filtered
+
+
+def test_table5_top_ips(benchmark, study, emit):
+    unfiltered, filtered = benchmark(regenerate, study)
+
+    table = Table(["rank", "paper IP", "paper #", "paper type",
+                   "measured IP", "measured #", "measured type"],
+                  title="Table 5 - top attacked IPs (pre-filtering)")
+    for i in range(10):
+        m = unfiltered[i] if i < len(unfiltered) else None
+        p_ip, p_n, p_type = PAPER_ROWS[i]
+        marker = " (open resolver)" if m and m.is_open_resolver else ""
+        table.add_row([i + 1, p_ip, p_n, p_type,
+                       m.ip_text if m else "-",
+                       m.n_attacks if m else "-",
+                       (m.label + marker) if m else "-"])
+    filtered_names = ", ".join(r.ip_text for r in filtered[:5])
+    table.caption = (f"after open-resolver filtering the top IPs are: "
+                     f"{filtered_names}")
+    emit("table5_top_ips", table.render())
+
+    ips = [r.ip_text for r in unfiltered]
+    # The public resolvers rank at the very top, as in the paper.
+    assert "8.8.4.4" in ips[:3]
+    assert "8.8.8.8" in ips[:4]
+    # 8.8.4.4 leads 8.8.8.8 (paper's ordering of the hot targets).
+    assert ips.index("8.8.4.4") < ips.index("8.8.8.8")
+    # The Unified Layer shared IP ranks near the top.
+    labels = [r.label for r in unfiltered[:4]]
+    assert "Unified Layer" in labels
+    # Filtering removes every open resolver.
+    assert all(not r.is_open_resolver for r in filtered)
+    assert "8.8.4.4" not in [r.ip_text for r in filtered]

@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures: session-scoped studies and result output.
+
+Every benchmark regenerates one of the paper's tables or figures from a
+shared 17-month study (scaled world), times the regeneration step with
+pytest-benchmark, and writes the paper-vs-measured rows both to stdout
+and to ``benchmarks/out/<name>.txt`` so the results survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ReactivePlatform, WorldConfig, run_study
+
+# The full 17-month window at a laptop-scale population (large enough
+# that the mega-anycast providers sit a full domain-count decade above
+# the mid-market tier, which Figure 8 stratifies on). One build is
+# shared by every benchmark in the session (~2-3 minutes).
+BENCH_CONFIG = WorldConfig(n_domains=20_000, attacks_per_month=1500)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The shared 17-month bench study."""
+    return run_study(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def transip_study():
+    """A Nov-2020..Mar-2021 study for the TransIP case benches."""
+    return run_study(WorldConfig(
+        seed=7, start="2020-11-01", end_exclusive="2021-04-01",
+        n_domains=2500, n_selfhosted_providers=20, n_filler_providers=10,
+        attacks_per_month=200))
+
+
+@pytest.fixture(scope="session")
+def russia_study():
+    """A Feb-Mar 2022 study for the Russian case benches."""
+    return run_study(WorldConfig(
+        seed=11, start="2022-02-01", end_exclusive="2022-04-01",
+        n_domains=2000, n_selfhosted_providers=20, n_filler_providers=10,
+        attacks_per_month=200))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a benchmark's rendered result to stdout + a file."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fp:
+            fp.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The TransIP case study (§5.1): two attacks on a large Dutch provider.
+
+Reproduces Table 2 and Figures 2-3 as text: telescope-side attack
+metrics for nameservers A/B/C (observed ppm, extrapolated pps, inferred
+traffic volume, attacker IP count), and the OpenINTEL-side RTT / timeout
+time series around both attacks — including the December aftermath that
+outlived the telescope-visible attack, and the March attack whose ~20%
+timeout rate made domains effectively unreachable.
+
+Run:  python examples/transip_case_study.py
+"""
+
+import sys
+import time
+
+from repro import WorldConfig, run_study
+from repro.core.metrics import impact_series
+from repro.telescope.feed import ppm_to_victim_pps
+from repro.util.tables import Table, format_bps, format_count, format_si
+from repro.util.timeutil import HOUR, Window, format_ts, parse_ts
+
+DEC_WINDOW = Window(parse_ts("2020-11-30 20:00"), parse_ts("2020-12-01 12:00"))
+MAR_WINDOW = Window(parse_ts("2021-03-01 18:00"), parse_ts("2021-03-02 04:00"))
+
+
+def telescope_table(study, window, title):
+    transip = study.world.providers["TransIP"]
+    label_of = {ns.ip: chr(ord("A") + i)
+                for i, ns in enumerate(transip.nameservers)}
+    table = Table(["NS", "observed rate (ppm)", "extrapolated (pps)",
+                   "inferred volume", "attacker IPs"],
+                  title=title)
+    attacks = [a for a in study.feed.attacks
+               if a.victim_ip in label_of and window.contains(a.start)]
+    for attack in sorted(attacks, key=lambda a: label_of[a.victim_ip]):
+        pps = ppm_to_victim_pps(attack.max_ppm)
+        # TCP SYN floods: ~60-byte packets.
+        volume = format_bps(pps * 60 * 8)
+        table.add_row([
+            label_of[attack.victim_ip],
+            format_si(attack.max_ppm),
+            format_si(pps),
+            volume,
+            format_si(attack.inferred_attacker_ips()),
+        ])
+    return table
+
+
+def rtt_series(study, nsset_id, window, title):
+    table = Table(["time (UTC)", "measured", "avg RTT (ms)", "impact",
+                   "timeout %"], title=title)
+    series = impact_series(study.store, nsset_id, window)
+    for point in series.points:
+        if point.n == 0:
+            continue
+        impact = f"{point.impact:.1f}x" if point.impact else "-"
+        rtt = f"{point.avg_rtt:.0f}" if point.avg_rtt else "-"
+        table.add_row([format_ts(point.ts), point.n, rtt, impact,
+                       f"{(point.timeouts / point.n) * 100:.0f}%"])
+    table.caption = (f"baseline {series.baseline_rtt:.1f} ms | window "
+                     f"failure rate {series.failure_rate:.1%}")
+    return table
+
+
+def main() -> int:
+    config = WorldConfig(
+        seed=7,
+        start="2020-11-01",
+        end_exclusive="2021-04-01",
+        n_domains=2500,
+        n_selfhosted_providers=20,
+        n_filler_providers=10,
+        attacks_per_month=200,
+    )
+    print("running study (Nov 2020 - Mar 2021)...", file=sys.stderr)
+    t0 = time.time()
+    study = run_study(config)
+    print(f"done in {time.time() - t0:.1f}s\n", file=sys.stderr)
+
+    record = next(d for d in study.world.directory.domains
+                  if d.provider_name == "TransIP" and not d.misconfig
+                  and d.secondary_provider is None)
+
+    print(telescope_table(
+        study, DEC_WINDOW,
+        "December 2020 attack - telescope view (paper Table 2: A=21.8Kppm/"
+        "1.4Gbps/5.79M, B=3.8K/247Mbps/1.57M, C=2.9K/188Mbps/1.33M)").render())
+    print()
+    print(telescope_table(
+        study, MAR_WINDOW,
+        "March 2021 attack - telescope view (paper Table 2: A=125Kppm/8Gbps/7M, "
+        "B=123K/7.8Gbps/6.19M, C=13K/845Mbps/823K)").render())
+    print()
+    print(rtt_series(
+        study, record.nsset_id,
+        Window(parse_ts("2020-11-30 22:00"), parse_ts("2020-12-01 10:00")),
+        "December attack - OpenINTEL RTT series (paper Fig. 2: ~10x RTT, "
+        "impairment persists ~8h past the attack; Fig. 3: negligible "
+        "timeouts)").render())
+    print()
+    print(rtt_series(
+        study, record.nsset_id,
+        Window(parse_ts("2021-03-01 19:00"), parse_ts("2021-03-02 02:00")),
+        "March attack - OpenINTEL RTT series (paper Fig. 2: larger "
+        "impairment; Fig. 3: ~20% timeouts)").render())
+
+    transip_domains = [d for d in study.world.directory.domains
+                       if d.provider_name == "TransIP" and not d.misconfig]
+    third_party = sum(1 for d in transip_domains if d.third_party_web)
+    print(f"\nTransIP hosted {format_count(len(transip_domains))} domains "
+          f"here ({sum(1 for d in transip_domains if d.tld == 'nl')} under "
+          f".nl); {third_party} ({third_party / len(transip_domains):.0%}) "
+          f"use third-party web hosting (paper: ~27%) - during the March "
+          f"attack those sites were unreachable despite healthy web "
+          f"infrastructure, because DNS resolution itself failed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Tour of the wire-level DNS substrate (§2.2/§6.2 background machinery).
+
+Builds a miniature DNS hierarchy from zone files — root, ``com``, and a
+signed ``example.com`` — places authoritative servers for each, and
+resolves names iteratively from the root hints, printing the referral
+walk, the DNSSEC response-size inflation, and the UDP-truncation ->
+TCP-fallback path that underlies the paper's observation that DNS
+attacks increasingly ride TCP.
+
+Run:  python examples/wire_level_dns.py
+"""
+
+import io
+
+from repro.dns.authoritative import AuthoritativeServer, response_size
+from repro.dns.iterative import DnsUniverse, IterativeResolver
+from repro.dns.message import Edns, Message
+from repro.dns.rr import RRType
+from repro.dns.zonefile import parse_zone_file
+from repro.net.ip import ip_to_str, parse_ip
+
+ROOT_ZONE = """\
+$ORIGIN .
+$TTL 86400
+@ IN SOA a.root-servers.net. nstld.verisign-grs.com. 2022032901 1800 900 604800 86400
+com.                 IN NS a.gtld-servers.net.
+a.gtld-servers.net.  IN A  192.5.6.30
+"""
+
+COM_ZONE = """\
+$ORIGIN com.
+$TTL 172800
+@ IN SOA a.gtld-servers.net. nstld.verisign-grs.com. 1646255701 1800 900 604800 86400
+example          IN NS ns1.example.com.
+ns1.example.com. IN A  203.0.113.53
+"""
+
+# The apex has a fat A RRset (a CDN-style answer): signed, it no longer
+# fits the classic 512-byte UDP budget.
+EXAMPLE_ZONE = """\
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1 hostmaster 2022030801 7200 900 1209600 3600
+@    IN NS  ns1
+ns1  IN A   203.0.113.53
+""" + "".join(f"@ IN A 192.0.2.{80 + i}\n" for i in range(12)) + """\
+www  IN CNAME @
+"""
+
+ROOT_IP = parse_ip("198.41.0.4")
+COM_IP = parse_ip("192.5.6.30")
+EXAMPLE_IP = parse_ip("203.0.113.53")
+
+
+def main() -> int:
+    servers = {}
+    for name, text, ip, signed in (("root", ROOT_ZONE, ROOT_IP, False),
+                                   ("com", COM_ZONE, COM_IP, False),
+                                   ("example.com", EXAMPLE_ZONE,
+                                    EXAMPLE_IP, True)):
+        zone = parse_zone_file(io.StringIO(text))
+        server = AuthoritativeServer()
+        server.add_zone(zone, signed=signed)
+        servers[name] = server
+        print(f"loaded zone {zone.apex.to_text() or '.'}: "
+              f"{len(zone)} rrsets, serial {zone.soa.serial}"
+              f"{' (signed)' if signed else ''}")
+
+    universe = DnsUniverse()
+    universe.place_server(ROOT_IP, servers["root"], is_root=True)
+    universe.place_server(COM_IP, servers["com"])
+    universe.place_server(EXAMPLE_IP, servers["example.com"])
+
+    print("\niterative resolution of www.example.com from the root:")
+    resolver = IterativeResolver(universe)
+    result = resolver.resolve("www.example.com")
+    for i, server_ip in enumerate(result.trace.servers_contacted):
+        print(f"  step {i + 1}: asked {ip_to_str(server_ip)}")
+    print(f"  -> {result.status}, answers:")
+    for rr in result.answers:
+        print(f"     {rr}")
+
+    print("\nDNSSEC response-size inflation (why DNS-over-TCP rose, §6.2):")
+    plain = servers["example.com"].handle_query(
+        Message.query("example.com", RRType.A, msg_id=1), tcp=True)
+    q = Message.query("example.com", RRType.A, msg_id=2)
+    q.edns = Edns(udp_payload_size=4096, do=True)
+    signed = servers["example.com"].handle_query(q, tcp=True)
+    print(f"  plain answer : {response_size(plain)} bytes")
+    print(f"  signed answer: {response_size(signed)} bytes "
+          f"(+{response_size(signed) - response_size(plain)} for the RRSIG)")
+
+    print("\nUDP truncation -> TCP fallback:")
+    q3 = Message.query("example.com", RRType.A, msg_id=3)
+    q3.edns = Edns(udp_payload_size=512, do=True)
+    udp = servers["example.com"].handle_query(q3)
+    print(f"  over UDP with a 512-byte budget: TC={udp.flags.tc}, "
+          f"{len(udp.answers)} answers")
+    tcp = servers["example.com"].handle_query(q3, tcp=True)
+    print(f"  retried over TCP:                TC={tcp.flags.tc}, "
+          f"{len(tcp.answers)} answers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

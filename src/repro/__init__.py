@@ -1,0 +1,45 @@
+"""repro — reproduction of "Investigating the impact of DDoS attacks on
+DNS infrastructure" (Sommese et al., IMC 2022).
+
+The public API is intentionally small:
+
+>>> from repro import WorldConfig, run_study
+>>> study = run_study(WorldConfig.small())
+>>> print(study.report())
+
+``run_study`` builds a seeded synthetic Internet, runs the two
+measurement systems (darknet telescope -> RSDoS feed; OpenINTEL-style
+daily DNS crawl), joins them with the paper's §4 pipeline, and exposes
+every §5/§6 analysis on the returned :class:`repro.core.pipeline.Study`.
+
+Subpackages (importable directly for finer-grained use):
+
+- :mod:`repro.net` — IPv4 primitives, radix trie, AS/Org types
+- :mod:`repro.dns` — names, records, wire codec, agnostic resolver
+- :mod:`repro.topology` — synthetic AS topology, prefix2AS, AS2Org
+- :mod:`repro.anycast` — anycast deployments and the quarterly census
+- :mod:`repro.world` — ground truth: providers, domains, capacity model
+- :mod:`repro.attacks` — attack model and schedule generation
+- :mod:`repro.telescope` — darknet, backscatter, RSDoS inference, feed
+- :mod:`repro.openintel` — daily crawl and aggregate storage
+- :mod:`repro.streaming` — in-process topics + discrete-event scheduler
+- :mod:`repro.core` — the paper's join pipeline and analyses
+- :mod:`repro.datasets` — open-resolver scan, dataset bundle I/O
+"""
+
+from repro.core.pipeline import Study, run_study
+from repro.core.reactive import ReactivePlatform
+from repro.world.config import WorldConfig
+from repro.world.simulation import World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "run_study",
+    "ReactivePlatform",
+    "WorldConfig",
+    "World",
+    "build_world",
+    "__version__",
+]

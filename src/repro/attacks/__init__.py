@@ -1,0 +1,36 @@
+"""DDoS attack modeling: spoofing classes, vectors, and schedule generation.
+
+The telescope only ever sees the *randomly spoofed* portion of the
+attack landscape (paper §2.1/§4.3: ~60% of attacks per Jonker et al.);
+the model therefore distinguishes spoofing types per vector, and the
+world applies full load while the telescope samples backscatter only
+from randomly-spoofed vectors.
+"""
+
+from repro.attacks.model import (
+    Attack,
+    AttackVector,
+    Campaign,
+    ImpairmentProfile,
+    Spoofing,
+)
+from repro.attacks.generator import (
+    AttackMix,
+    AttackScheduleConfig,
+    HotTarget,
+    TargetCatalog,
+    generate_schedule,
+)
+
+__all__ = [
+    "Attack",
+    "AttackVector",
+    "Campaign",
+    "ImpairmentProfile",
+    "Spoofing",
+    "AttackMix",
+    "AttackScheduleConfig",
+    "HotTarget",
+    "TargetCatalog",
+    "generate_schedule",
+]

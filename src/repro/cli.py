@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``report``
+    Build a world, run both measurement systems, print the full study
+    report (the §5/§6 analyses).
+``export``
+    Run a study and write its derived datasets (RSDoS feed records,
+    prefix2AS, AS2Org, anycast census, open-resolver scan) to a
+    directory in the library's text formats.
+``case``
+    Replay one of the scripted case studies (``transip`` or ``russia``)
+    and print its timeline tables.
+``visibility``
+    Print the §4.3 limitations quantified against ground truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import WorldConfig, run_study
+from repro.core.visibility import analyze_visibility
+from repro.datasets.io import dataset_bundle_dump
+from repro.util.tables import Table, format_pct
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--domains", type=int, default=8000,
+                        help="registered domains (default 8000)")
+    parser.add_argument("--attacks-per-month", type=int, default=1200)
+    parser.add_argument("--start", default="2020-11-01")
+    parser.add_argument("--end", default="2022-04-01",
+                        help="end date, exclusive")
+
+
+def _config_from(args: argparse.Namespace) -> WorldConfig:
+    return WorldConfig(
+        seed=args.seed,
+        start=args.start,
+        end_exclusive=args.end,
+        n_domains=args.domains,
+        attacks_per_month=args.attacks_per_month,
+    )
+
+
+def _run(args: argparse.Namespace):
+    config = _config_from(args)
+    print(f"running study {config.start} .. {config.end_exclusive} "
+          f"({config.n_domains} domains, "
+          f"{config.attacks_per_month} attacks/month)...", file=sys.stderr)
+    t0 = time.time()
+    study = run_study(config)
+    print(f"done in {time.time() - t0:.1f}s", file=sys.stderr)
+    return study
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    study = _run(args)
+    print(study.report())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    study = _run(args)
+    dataset_bundle_dump(
+        args.output,
+        feed=study.feed,
+        prefix2as=study.world.prefix2as,
+        as2org=study.world.as2org,
+        census=study.world.census,
+        openresolvers=study.open_resolvers,
+    )
+    print(f"datasets written to {args.output}/", file=sys.stderr)
+    return 0
+
+
+def cmd_case(args: argparse.Namespace) -> int:
+    import runpy
+
+    module = {"transip": "examples.transip_case_study",
+              "russia": "examples.russian_infrastructure"}
+    script = {"transip": "transip_case_study",
+              "russia": "russian_infrastructure"}[args.name]
+    # The case scripts live in examples/; execute them in-process.
+    import importlib.util
+    import os
+
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "examples",
+        f"{script}.py")
+    if not os.path.exists(path):
+        print(f"case script not found: {path}", file=sys.stderr)
+        return 1
+    spec = importlib.util.spec_from_file_location(script, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main()
+
+
+def cmd_visibility(args: argparse.Namespace) -> int:
+    study = _run(args)
+    report = analyze_visibility(study.world.attacks, study.feed)
+    table = Table(["attack class", "detected", "total", "rate"],
+                  title="Telescope visibility (§4.3 oracle)")
+    for name, (detected, total) in sorted(report.by_class.items()):
+        table.add_row([name, detected, total,
+                       format_pct(detected / total if total else 0.0)])
+    print(table.render())
+    if report.multivector_underestimate is not None:
+        print(f"\nmulti-vector rate seen: "
+              f"{report.multivector_underestimate:.0%} of truth")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Investigating the impact of DDoS "
+                    "attacks on DNS infrastructure' (IMC 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="run a study, print the report")
+    _add_world_args(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_export = sub.add_parser("export", help="export derived datasets")
+    _add_world_args(p_export)
+    p_export.add_argument("--output", default="./repro-datasets",
+                          help="output directory")
+    p_export.set_defaults(func=cmd_export)
+
+    p_case = sub.add_parser("case", help="replay a scripted case study")
+    p_case.add_argument("name", choices=("transip", "russia"))
+    p_case.set_defaults(func=cmd_case)
+
+    p_vis = sub.add_parser("visibility",
+                           help="quantify telescope blind spots (§4.3)")
+    _add_world_args(p_vis)
+    p_vis.set_defaults(func=cmd_visibility)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

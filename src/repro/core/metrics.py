@@ -1,0 +1,155 @@
+"""The paper's impact metric (Equation 1) and per-window impact series.
+
+``Impact_on_RTT = avgRTT(5 min) / avgRTT(day before)``. The day-before
+baseline minimizes error from infrastructure changes (§4.1; the paper
+evaluated week/month baselines and found similar results — the ablation
+bench reproduces that comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.openintel.storage import MeasurementStore
+from repro.util.timeutil import DAY, Window, day_start
+
+
+def impact_on_rtt(avg_rtt_5min: Optional[float],
+                  baseline_rtt: Optional[float]) -> Optional[float]:
+    """Equation 1; None when either side is unmeasurable."""
+    if avg_rtt_5min is None or baseline_rtt is None or baseline_rtt <= 0:
+        return None
+    return avg_rtt_5min / baseline_rtt
+
+
+@dataclass
+class ImpactPoint:
+    """One 5-minute bucket of one NSSet during an analysis window."""
+
+    ts: int
+    n: int
+    ok: int
+    timeouts: int
+    servfails: int
+    avg_rtt: Optional[float]
+    impact: Optional[float]
+
+    @property
+    def failure_rate(self) -> float:
+        return (self.n - self.ok) / self.n if self.n else 0.0
+
+
+@dataclass
+class ImpactSeries:
+    """The 5-minute impact series of one NSSet over a window.
+
+    ``min_bucket_n`` guards the impact statistics against tiny-bucket
+    noise: a bucket whose average is computed from one or two queries
+    can spike to a 1000x "impact" on a single unlucky retransmission,
+    which is measurement noise, not infrastructure impairment. Buckets
+    below the floor still contribute to the failure counts.
+    """
+
+    nsset_id: int
+    window: Window
+    baseline_rtt: Optional[float]
+    points: List[ImpactPoint] = field(default_factory=list)
+    min_bucket_n: int = 1
+
+    @property
+    def n_measured(self) -> int:
+        return sum(p.n for p in self.points)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(p.n - p.ok for p in self.points)
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(p.timeouts for p in self.points)
+
+    @property
+    def n_servfails(self) -> int:
+        return sum(p.servfails for p in self.points)
+
+    @property
+    def failure_rate(self) -> float:
+        n = self.n_measured
+        return self.n_failed / n if n else 0.0
+
+    def _qualified(self) -> List[ImpactPoint]:
+        return [p for p in self.points
+                if p.impact is not None and p.n >= self.min_bucket_n]
+
+    @property
+    def max_impact(self) -> Optional[float]:
+        """Peak Equation-1 impact over qualified buckets (None when no
+        bucket clears the sample floor)."""
+        impacts = [p.impact for p in self._qualified()]
+        return max(impacts) if impacts else None
+
+    @property
+    def mean_impact(self) -> Optional[float]:
+        """Measurement-weighted mean impact over *all* buckets.
+
+        The weighting makes this the overall-window average, which stays
+        stable even when individual 5-minute buckets hold one or two
+        samples (the situation for small NSSets at reduced scale).
+        """
+        points = [p for p in self.points if p.impact is not None]
+        total = sum(p.n for p in points)
+        if not total:
+            return None
+        return sum(p.impact * p.n for p in points) / total
+
+    @property
+    def impact(self) -> Optional[float]:
+        """The event-level impact statistic: the qualified-bucket peak
+        when the NSSet is measured densely enough to have one, otherwise
+        the weighted window mean."""
+        candidates = [x for x in (self.mean_impact, self.max_impact)
+                      if x is not None]
+        return max(candidates) if candidates else None
+
+    def max_failure_rate(self) -> float:
+        return max((p.failure_rate for p in self.points if p.n), default=0.0)
+
+
+def impact_series(store: MeasurementStore, nsset_id: int, window: Window,
+                  baseline_kind: str = "day",
+                  min_bucket_n: int = 1) -> ImpactSeries:
+    """Build the impact series of a NSSet over ``window``.
+
+    ``baseline_kind`` selects the §4.1 baseline: ``day`` (default),
+    ``week`` or ``month`` — the average of the daily averages over that
+    many preceding days (used by the ablation bench).
+    """
+    baseline = compute_baseline(store, nsset_id, window.start, baseline_kind)
+    series = ImpactSeries(nsset_id=nsset_id, window=window,
+                          baseline_rtt=baseline, min_bucket_n=min_bucket_n)
+    for ts, agg in store.buckets_in(nsset_id, window.start, window.end):
+        series.points.append(ImpactPoint(
+            ts=ts, n=agg.n, ok=agg.ok_n, timeouts=agg.timeout_n,
+            servfails=agg.servfail_n, avg_rtt=agg.avg_rtt,
+            impact=impact_on_rtt(agg.avg_rtt, baseline)))
+    return series
+
+
+def compute_baseline(store: MeasurementStore, nsset_id: int, ts: int,
+                     kind: str = "day") -> Optional[float]:
+    """Baseline average RTT before ``ts`` over a day/week/month horizon."""
+    horizons = {"day": 1, "week": 7, "month": 30}
+    try:
+        n_days = horizons[kind]
+    except KeyError:
+        raise ValueError(f"unknown baseline kind: {kind!r}") from None
+    day0 = day_start(ts)
+    values = []
+    for back in range(1, n_days + 1):
+        avg = store.day_avg_rtt(nsset_id, day0 - back * DAY)
+        if avg is not None:
+            values.append(avg)
+    if not values:
+        return None
+    return sum(values) / len(values)

@@ -1,0 +1,106 @@
+"""NSSet structural metadata.
+
+The paper aggregates performance per *NSSet* — the set of IPv4
+nameserver addresses a group of domains shares (§4.1) — and stratifies
+impact by the NSSet's structure: number of /24 prefixes, number of
+origin ASNs, and the census anycast label (§6.6). This module derives
+that structure from the measurement-side datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.anycast.census import AnycastCensus
+from repro.net.ip import slash24_of
+from repro.topology.as2org import AS2Org
+from repro.topology.prefix2as import Prefix2AS
+from repro.world.domains import DomainDirectory
+
+
+@dataclass(frozen=True)
+class NSSetInfo:
+    """Structure of one NSSet at one point in time."""
+
+    nsset_id: int
+    ips: Tuple[int, ...]
+    n_domains: int
+    slash24s: Tuple[int, ...]
+    asns: Tuple[int, ...]
+    anycast_label: str          # "anycast" | "partial" | "unicast"
+    company: str                # org name of the plurality ASN
+
+    @property
+    def n_slash24(self) -> int:
+        return len(self.slash24s)
+
+    @property
+    def n_asns(self) -> int:
+        return len(self.asns)
+
+    @property
+    def is_unicast(self) -> bool:
+        return self.anycast_label == "unicast"
+
+    @property
+    def single_prefix(self) -> bool:
+        return self.n_slash24 == 1
+
+    @property
+    def single_asn(self) -> bool:
+        return self.n_asns == 1
+
+
+class NSSetMetadata:
+    """Builds and caches :class:`NSSetInfo` from the datasets.
+
+    Anycast labels are census-snapshot dependent; the cache key includes
+    the snapshot, so labels stay correct across census boundaries.
+    """
+
+    def __init__(self, directory: DomainDirectory, prefix2as: Prefix2AS,
+                 as2org: AS2Org, census: AnycastCensus):
+        self.directory = directory
+        self.prefix2as = prefix2as
+        self.as2org = as2org
+        self.census = census
+        self._cache: Dict[Tuple[int, int], NSSetInfo] = {}
+
+    def info(self, nsset_id: int, ts: int) -> NSSetInfo:
+        snap = self.census.snapshot_for(ts)
+        snap_key = snap.taken_at if snap else 0
+        key = (nsset_id, snap_key)
+        info = self._cache.get(key)
+        if info is None:
+            info = self._build(nsset_id, ts)
+            self._cache[key] = info
+        return info
+
+    def _build(self, nsset_id: int, ts: int) -> NSSetInfo:
+        ips = self.directory.nssets.ips_of(nsset_id)
+        slash24s = tuple(sorted({slash24_of(ip) for ip in ips}))
+        asns = []
+        for ip in ips:
+            asn = self.prefix2as.lookup(ip)
+            if asn is not None and asn not in asns:
+                asns.append(asn)
+        label = self.census.label_nsset(ips, ts)
+        company = self._company_of(asns)
+        return NSSetInfo(
+            nsset_id=nsset_id, ips=ips,
+            n_domains=len(self.directory.domains_of_nsset(nsset_id)),
+            slash24s=slash24s, asns=tuple(sorted(asns)),
+            anycast_label=label, company=company)
+
+    def _company_of(self, asns) -> str:
+        if not asns:
+            return "(unknown)"
+        return self.as2org.name_of(asns[0])
+
+    def company_of_ip(self, ip: int) -> str:
+        """Company attribution for a single address (Tables 4/5)."""
+        asn = self.prefix2as.lookup(ip)
+        if asn is None:
+            return "Private IP"
+        return self.as2org.name_of(asn)

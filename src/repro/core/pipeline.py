@@ -1,0 +1,152 @@
+"""Study orchestration: the end-to-end Figure-1 pipeline.
+
+``run_study`` builds (or accepts) a world, runs both measurement
+systems over it, joins their outputs, and extracts attack events. The
+resulting :class:`Study` lazily computes every analysis in the paper;
+benchmarks and examples all start here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, List, Optional
+
+from repro.core.correlation import CorrelationAnalysis, analyze_correlation
+from repro.core.events import AttackEvent, extract_events
+from repro.core.impact import (
+    FailureAnalysis,
+    ImpactAnalysis,
+    analyze_failures,
+    analyze_impact,
+    top_companies_by_impact,
+)
+from repro.core.join import DatasetJoin, join_datasets
+from repro.core.longitudinal import MonthlySummary, monthly_summary
+from repro.core.nsset import NSSetMetadata
+from repro.core.ports import PortAnalysis, analyze_ports, analyze_successful_ports
+from repro.core.resilience import ResilienceAnalysis, analyze_resilience
+from repro.datasets.openresolvers import OpenResolverScan
+from repro.openintel.platform import OpenIntelPlatform
+from repro.openintel.storage import MeasurementStore
+from repro.telescope.backscatter import BackscatterSimulator
+from repro.telescope.darknet import Darknet
+from repro.telescope.feed import RSDoSFeed
+from repro.world.config import WorldConfig
+from repro.world.simulation import World, build_world
+
+
+def _link_util_fn(world: World):
+    """Inbound-link utilization of a victim, for backscatter suppression.
+
+    Nameserver victims use the world's load model (without the geofence,
+    which blocks queries but not TCP-level backscatter); other victims
+    are assumed link-healthy.
+    """
+    def fn(ip: int, ts: int) -> float:
+        ns = world.nameservers_by_ip.get(ip)
+        if ns is None or ns.is_misconfig_target:
+            return 0.0
+        return world.load_at(ns, ts).link_util
+    return fn
+
+
+@dataclass
+class Study:
+    """All datasets and lazily-computed analyses of one run."""
+
+    config: WorldConfig
+    world: World
+    feed: RSDoSFeed
+    store: MeasurementStore
+    open_resolvers: OpenResolverScan
+    join: DatasetJoin
+    metadata: NSSetMetadata
+    events: List[AttackEvent]
+
+    @cached_property
+    def monthly(self) -> MonthlySummary:
+        """Table 3 / Table 1."""
+        return monthly_summary(self.join)
+
+    @cached_property
+    def ports(self) -> PortAnalysis:
+        """Figure 6."""
+        return analyze_ports(self.join)
+
+    @cached_property
+    def successful_ports(self) -> PortAnalysis:
+        """§6.3.1's successful-attack port mix."""
+        return analyze_successful_ports(self.events)
+
+    @cached_property
+    def failures(self) -> FailureAnalysis:
+        """Figure 7 / §6.3.1."""
+        return analyze_failures(self.events)
+
+    @cached_property
+    def impact(self) -> ImpactAnalysis:
+        """Figure 8 / §6.3.2."""
+        return analyze_impact(self.events)
+
+    @cached_property
+    def correlation(self) -> CorrelationAnalysis:
+        """Figures 9-10."""
+        return analyze_correlation(self.events)
+
+    @cached_property
+    def resilience(self) -> ResilienceAnalysis:
+        """Figures 11-13."""
+        return analyze_resilience(self.events)
+
+    def top_companies(self, n: int = 10):
+        """Table 6."""
+        return top_companies_by_impact(self.events, n)
+
+    @cached_property
+    def visibility(self):
+        """§4.3 quantified: what the telescope missed (oracle view —
+        uses the world's ground truth, so it is a simulation-only
+        analysis, clearly separated from the dataset-pure ones)."""
+        from repro.core.visibility import analyze_visibility
+
+        return analyze_visibility(self.world.attacks, self.feed)
+
+    def report(self) -> str:
+        """The full textual study report."""
+        from repro.core.report import render_report
+
+        return render_report(self)
+
+
+def run_study(config: Optional[WorldConfig] = None,
+              world: Optional[World] = None,
+              progress: Optional[Callable[[int, int], None]] = None,
+              install_scenarios: bool = True) -> Study:
+    """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
+    events. Pass a pre-built ``world`` to reuse one across analyses."""
+    if world is None:
+        config = config or WorldConfig()
+        world = build_world(config, install_scenarios=install_scenarios)
+    else:
+        config = world.config
+
+    darknet = Darknet()
+    simulator = BackscatterSimulator(
+        darknet, world.rngs.stream("telescope"),
+        link_util_fn=_link_util_fn(world),
+        headroom=config.headroom)
+    feed = RSDoSFeed.observe(world.attacks, simulator)
+
+    platform = OpenIntelPlatform(world)
+    store = platform.run(progress=progress)
+
+    open_resolvers = OpenResolverScan.from_world(world)
+    join = join_datasets(feed.attacks, world.directory, open_resolvers)
+    metadata = NSSetMetadata(world.directory, world.prefix2as,
+                             world.as2org, world.census)
+    events = extract_events(join, store, metadata,
+                            min_domains=config.event_min_domains)
+    return Study(config=config, world=world, feed=feed, store=store,
+                 open_resolvers=open_resolvers, join=join,
+                 metadata=metadata, events=events)

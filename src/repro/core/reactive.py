@@ -1,0 +1,211 @@
+"""The reactive measurement platform (§4.3.1).
+
+When the RSDoS feed reports an attack on an address that appears in NS
+delegations, the platform triggers probes of up to 50 related domains
+every 5 minutes — spread evenly over the window (~one query every 6
+seconds, the paper's ethics bound) — during the attack and for 24 hours
+after, probing *every* nameserver of each domain individually (unlike
+OpenINTEL's agnostic single query). Trigger delay is at most 10 minutes
+after the feed reports the attack.
+
+Built on the streaming substrate: the feed flows through a topic, a
+filter job joins it against the nameserver view, and the discrete-event
+scheduler fires the probes in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.rr import RRType
+from repro.streaming.scheduler import EventScheduler
+from repro.streaming.topic import Broker
+from repro.streaming.processors import FilterProcessor, StreamJob
+from repro.telescope.feed import RSDoSFeed
+from repro.telescope.rsdos import InferredAttack
+from repro.util.timeutil import DAY, FIVE_MINUTES, MINUTE, Window, window_start
+from repro.world.simulation import World
+
+
+@dataclass(frozen=True)
+class ReactiveProbe:
+    """One probe of one nameserver of one domain."""
+
+    ts: int
+    domain_id: int
+    ns_ip: int
+    answered: bool
+    rtt_ms: Optional[float]
+
+
+class ReactiveStore:
+    """Probe results with per-domain availability queries."""
+
+    def __init__(self) -> None:
+        self.probes: List[ReactiveProbe] = []
+        self._by_domain: Dict[int, List[ReactiveProbe]] = {}
+
+    def add(self, probe: ReactiveProbe) -> None:
+        self.probes.append(probe)
+        self._by_domain.setdefault(probe.domain_id, []).append(probe)
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def domain_probes(self, domain_id: int) -> List[ReactiveProbe]:
+        return self._by_domain.get(domain_id, [])
+
+    def availability_series(self, domain_id: int
+                            ) -> List[Tuple[int, float, int]]:
+        """(bucket_ts, share of probes answered, n probes) per 5-minute
+        bucket, in time order."""
+        buckets: Dict[int, Tuple[int, int]] = {}
+        for probe in self._by_domain.get(domain_id, ()):
+            key = window_start(probe.ts)
+            answered, total = buckets.get(key, (0, 0))
+            buckets[key] = (answered + (1 if probe.answered else 0), total + 1)
+        return [(ts, answered / total, total)
+                for ts, (answered, total) in sorted(buckets.items())]
+
+    def unresponsive_share(self, domain_id: int, window: Window) -> float:
+        """Share of buckets in ``window`` where NO nameserver answered."""
+        series = [row for row in self.availability_series(domain_id)
+                  if window.contains(row[0])]
+        if not series:
+            return 0.0
+        return sum(1 for _, share, _ in series if share == 0.0) / len(series)
+
+    def first_responsive_after(self, domain_id: int, ts: int) -> Optional[int]:
+        """First bucket at/after ``ts`` with any nameserver answering."""
+        for bucket_ts, share, _ in self.availability_series(domain_id):
+            if bucket_ts >= ts and share > 0.0:
+                return bucket_ts
+        return None
+
+
+@dataclass
+class ProbeCampaign:
+    """The probing plan for one triggered attack."""
+
+    attack: InferredAttack
+    domain_ids: Tuple[int, ...]
+    triggered_at: int
+    ends_at: int
+
+    @property
+    def victim_ip(self) -> int:
+        return self.attack.victim_ip
+
+
+class ReactivePlatform:
+    """Feed-triggered probing of nameservers under attack."""
+
+    def __init__(self, world: World, probes_per_window: int = 50,
+                 trigger_delay_s: int = 10 * MINUTE,
+                 post_attack_s: int = DAY):
+        if probes_per_window < 1:
+            raise ValueError("probes_per_window must be >= 1")
+        if trigger_delay_s < 0 or post_attack_s < 0:
+            raise ValueError("delays must be non-negative")
+        self.world = world
+        self.probes_per_window = probes_per_window
+        self.trigger_delay_s = trigger_delay_s
+        self.post_attack_s = post_attack_s
+        self.rng = world.rngs.stream("reactive")
+        self.store = ReactiveStore()
+        self.campaigns: List[ProbeCampaign] = []
+        self.broker = Broker()
+
+    # -- pipeline ------------------------------------------------------------
+
+    def run(self, feed: RSDoSFeed, window: Optional[Window] = None,
+            max_campaigns: Optional[int] = None) -> ReactiveStore:
+        """Replay the feed through the streaming join and execute all
+        triggered probe campaigns in virtual time.
+
+        ``window`` restricts which attacks trigger (the platform went
+        operational in January 2022 in the paper); ``max_campaigns``
+        bounds the run for exploratory use.
+        """
+        ns_ips = self.world.directory.nameserver_ips()
+        feed_topic = self.broker.topic("rsdos-attacks")
+        job = StreamJob(
+            self.broker, "rsdos-attacks", "dns-attacks",
+            [FilterProcessor(lambda a: a.victim_ip in ns_ips)],
+            name="dns-join")
+        for attack in feed.attacks:
+            if window is not None and not (
+                    attack.start < window.end and window.start < attack.end):
+                continue
+            feed_topic.produce(attack.start, attack)
+        job.drain()
+
+        consumer = self.broker.consumer("dns-attacks")
+        triggered = [record.value for record in consumer.poll()]
+        if max_campaigns is not None:
+            triggered = triggered[:max_campaigns]
+        if not triggered:
+            return self.store
+
+        scheduler = EventScheduler(start_ts=min(a.start for a in triggered))
+        horizon = 0
+        for attack in triggered:
+            campaign = self._plan_campaign(attack)
+            if campaign is None:
+                continue
+            self.campaigns.append(campaign)
+            horizon = max(horizon, campaign.ends_at)
+            self._schedule_campaign(scheduler, campaign)
+        scheduler.run_until(horizon + 1)
+        return self.store
+
+    def _plan_campaign(self, attack: InferredAttack) -> Optional[ProbeCampaign]:
+        domains = sorted(self.world.directory.domains_of_ip(attack.victim_ip))
+        if not domains:
+            return None
+        if len(domains) > self.probes_per_window:
+            domains = self.rng.sample(domains, self.probes_per_window)
+            domains.sort()
+        return ProbeCampaign(
+            attack=attack,
+            domain_ids=tuple(domains),
+            triggered_at=attack.start + self.trigger_delay_s,
+            ends_at=attack.end + self.post_attack_s)
+
+    def _schedule_campaign(self, scheduler: EventScheduler,
+                           campaign: ProbeCampaign) -> None:
+        n = len(campaign.domain_ids)
+        per_window = min(self.probes_per_window, max(n, 1))
+        spacing = FIVE_MINUTES // per_window
+        window_ts = window_start(campaign.triggered_at) + FIVE_MINUTES
+        cursor = 0
+        while window_ts < campaign.ends_at:
+            for i in range(per_window):
+                domain_id = campaign.domain_ids[cursor % n]
+                cursor += 1
+                probe_ts = window_ts + i * spacing
+                scheduler.at(probe_ts, self._probe_action(domain_id))
+            window_ts += FIVE_MINUTES
+
+    def _probe_action(self, domain_id: int):
+        def action(ts: int) -> None:
+            self.probe_domain(domain_id, ts)
+        return action
+
+    # -- probing ------------------------------------------------------------------
+
+    def probe_domain(self, domain_id: int, ts: int) -> List[ReactiveProbe]:
+        """Probe every nameserver of a domain once (the NS-exhaustive
+        measurement OpenINTEL cannot do, §4.3/§9)."""
+        record = self.world.directory[domain_id]
+        probes = []
+        for ns_ip in record.delegation.nameserver_ips:
+            reply = self.world.transport(ns_ip, record.name, RRType.NS, ts)
+            probe = ReactiveProbe(
+                ts=ts, domain_id=domain_id, ns_ip=ns_ip,
+                answered=reply.answered,
+                rtt_ms=reply.rtt_ms if reply.answered else None)
+            self.store.add(probe)
+            probes.append(probe)
+        return probes

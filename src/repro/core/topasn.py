@@ -1,0 +1,77 @@
+"""Top attacked ASNs and IPs (Tables 4-5) with open-resolver filtering.
+
+Attributes every DNS-classified attack to an origin AS (prefix2AS) and
+company (AS2Org). The top-IP view exposes the misconfiguration
+phenomenon: public resolvers (8.8.8.8, 8.8.4.4, 1.1.1.1) rank high
+because misconfigured domains point NS records at them; the paper
+filters those out of the authoritative analysis using open-resolver
+scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.join import DatasetJoin
+from repro.core.nsset import NSSetMetadata
+from repro.datasets.openresolvers import OpenResolverScan
+from repro.net.ip import ip_to_str
+
+
+@dataclass(frozen=True)
+class RankedASN:
+    asn: int
+    n_attacks: int
+    company: str
+
+
+@dataclass(frozen=True)
+class RankedIP:
+    ip: int
+    n_attacks: int
+    label: str
+    is_open_resolver: bool
+
+    @property
+    def ip_text(self) -> str:
+        return ip_to_str(self.ip)
+
+
+def top_attacked_asns(join: DatasetJoin, metadata: NSSetMetadata,
+                      n: int = 10) -> List[RankedASN]:
+    """Table 4: ASNs by DNS-classified attack count (pre-filtering)."""
+    counts: Dict[int, int] = {}
+    for classified in join.dns_attacks:
+        asn = metadata.prefix2as.lookup(classified.victim_ip)
+        if asn is None:
+            continue
+        counts[asn] = counts.get(asn, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+    return [RankedASN(asn=asn, n_attacks=count,
+                      company=metadata.as2org.name_of(asn))
+            for asn, count in ranked[:n]]
+
+
+def top_attacked_ips(join: DatasetJoin, metadata: NSSetMetadata,
+                     open_resolvers: Optional[OpenResolverScan] = None,
+                     n: int = 10, filtered: bool = False) -> List[RankedIP]:
+    """Table 5: victim IPs by DNS-classified attack count.
+
+    With ``filtered=True``, open resolvers are removed — the paper's
+    cleaning step before the authoritative impact analyses.
+    """
+    counts: Dict[int, int] = {}
+    for classified in join.dns_attacks:
+        ip = classified.victim_ip
+        if filtered and open_resolvers is not None and ip in open_resolvers:
+            continue
+        counts[ip] = counts.get(ip, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+    out = []
+    for ip, count in ranked[:n]:
+        is_open = bool(open_resolvers and ip in open_resolvers)
+        out.append(RankedIP(ip=ip, n_attacks=count,
+                            label=metadata.company_of_ip(ip),
+                            is_open_resolver=is_open))
+    return out

@@ -1,0 +1,133 @@
+"""Telescope visibility oracle: quantifying the §4.3 limitations.
+
+The paper can only *discuss* what the telescope misses — reflected and
+unspoofed attacks are invisible, multi-vector attacks appear smaller,
+and backscatter suppression truncates attack windows. In the simulation
+we hold the ground truth, so we can quantify each limitation exactly:
+detection rate by spoofing class, rate under-estimation of multi-vector
+attacks, and duration truncation. (Jonker et al. 2017, cited in §4.3,
+found ~60% of attacks randomly spoofed vs 40% reflected — the invisible
+share is real and substantial.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.model import Attack
+from repro.telescope.feed import RSDoSFeed
+from repro.telescope.rsdos import InferredAttack
+from repro.util.stats import median, ratio
+
+
+@dataclass
+class AttackMatch:
+    """Ground-truth attack paired with its inferred counterpart."""
+
+    truth: Attack
+    inferred: Optional[InferredAttack]
+
+    @property
+    def detected(self) -> bool:
+        return self.inferred is not None
+
+    @property
+    def rate_underestimate(self) -> Optional[float]:
+        """inferred rate / true rate: < 1 when the telescope misses
+        invisible vectors or suppressed backscatter."""
+        if self.inferred is None or self.truth.total_pps <= 0:
+            return None
+        return self.inferred.inferred_victim_pps() / self.truth.total_pps
+
+    @property
+    def duration_coverage(self) -> Optional[float]:
+        """inferred duration / true duration."""
+        if self.inferred is None or self.truth.duration_s <= 0:
+            return None
+        return self.inferred.duration_s / self.truth.duration_s
+
+
+@dataclass
+class VisibilityReport:
+    """The oracle's aggregate view of the telescope's blind spots."""
+
+    n_truth: int = 0
+    n_detected: int = 0
+    #: detection rate per category.
+    by_class: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: median inferred/true rate for multi-vector attacks.
+    multivector_underestimate: Optional[float] = None
+    #: median inferred/true rate for pure randomly-spoofed attacks.
+    pure_spoofed_estimate: Optional[float] = None
+    #: median duration coverage of detected attacks.
+    duration_coverage: Optional[float] = None
+
+    @property
+    def detection_rate(self) -> float:
+        return ratio(self.n_detected, self.n_truth)
+
+    def class_rate(self, name: str) -> float:
+        detected, total = self.by_class.get(name, (0, 0))
+        return ratio(detected, total)
+
+
+def _classify(attack: Attack) -> str:
+    if not attack.telescope_visible:
+        return "invisible (reflected/unspoofed)"
+    if attack.is_multi_vector:
+        return "multi-vector (partially visible)"
+    return "randomly spoofed (visible)"
+
+
+def match_attacks(ground_truth: Sequence[Attack],
+                  feed: RSDoSFeed) -> List[AttackMatch]:
+    """Pair each ground-truth attack with the overlapping inferred
+    attack on the same victim (if any)."""
+    by_victim: Dict[int, List[InferredAttack]] = {}
+    for inferred in feed.attacks:
+        by_victim.setdefault(inferred.victim_ip, []).append(inferred)
+    matches = []
+    for truth in ground_truth:
+        candidates = by_victim.get(truth.victim_ip, ())
+        hit = None
+        for inferred in candidates:
+            if (inferred.start < truth.window.end
+                    and truth.window.start < inferred.end):
+                hit = inferred
+                break
+        matches.append(AttackMatch(truth=truth, inferred=hit))
+    return matches
+
+
+def analyze_visibility(ground_truth: Sequence[Attack],
+                       feed: RSDoSFeed) -> VisibilityReport:
+    """Quantify every §4.3 limitation from the oracle's seat."""
+    report = VisibilityReport()
+    multivector_ratios: List[float] = []
+    pure_ratios: List[float] = []
+    coverages: List[float] = []
+    for match in match_attacks(ground_truth, feed):
+        report.n_truth += 1
+        name = _classify(match.truth)
+        detected, total = report.by_class.get(name, (0, 0))
+        report.by_class[name] = (detected + (1 if match.detected else 0),
+                                 total + 1)
+        if match.detected:
+            report.n_detected += 1
+            under = match.rate_underestimate
+            if under is not None:
+                if match.truth.is_multi_vector:
+                    multivector_ratios.append(under)
+                elif match.truth.telescope_visible:
+                    pure_ratios.append(under)
+            coverage = match.duration_coverage
+            if coverage is not None:
+                coverages.append(min(coverage, 2.0))
+    if multivector_ratios:
+        report.multivector_underestimate = median(multivector_ratios)
+    if pure_ratios:
+        report.pure_spoofed_estimate = median(pure_ratios)
+    if coverages:
+        report.duration_coverage = median(coverages)
+    return report

@@ -1,0 +1,10 @@
+"""Ancillary datasets: open-resolver scans and dataset I/O helpers."""
+
+from repro.datasets.openresolvers import OpenResolverScan
+from repro.datasets.io import dataset_bundle_dump, dataset_bundle_load
+
+__all__ = [
+    "OpenResolverScan",
+    "dataset_bundle_dump",
+    "dataset_bundle_load",
+]

@@ -1,0 +1,87 @@
+"""Bundle I/O: persist a study's derived datasets to a directory.
+
+Lets users export the simulated feeds (RSDoS records, prefix2AS, AS2Org,
+anycast census, open-resolver scan) in the text formats the rest of the
+library loads, so analyses can be re-run without re-simulating.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.anycast.census import AnycastCensus
+from repro.datasets.openresolvers import OpenResolverScan
+from repro.telescope.feed import RSDoSFeed
+from repro.topology.as2org import AS2Org
+from repro.topology.prefix2as import Prefix2AS
+
+_FILES = {
+    "rsdos": "rsdos_records.csv",
+    "prefix2as": "prefix2as.tsv",
+    "as2org": "as2org.jsonl",
+    "census": "anycast_census.jsonl",
+    "openresolvers": "open_resolvers.json",
+}
+
+
+@dataclass
+class DatasetBundle:
+    """The ancillary datasets of one study run."""
+
+    feed_records: Optional[list] = None
+    prefix2as: Optional[Prefix2AS] = None
+    as2org: Optional[AS2Org] = None
+    census: Optional[AnycastCensus] = None
+    openresolvers: Optional[OpenResolverScan] = None
+
+
+def dataset_bundle_dump(path: str, feed: Optional[RSDoSFeed] = None,
+                        prefix2as: Optional[Prefix2AS] = None,
+                        as2org: Optional[AS2Org] = None,
+                        census: Optional[AnycastCensus] = None,
+                        openresolvers: Optional[OpenResolverScan] = None) -> None:
+    """Write whichever datasets are provided under ``path``."""
+    os.makedirs(path, exist_ok=True)
+    if feed is not None:
+        with open(os.path.join(path, _FILES["rsdos"]), "w") as fp:
+            feed.dump_records(fp)
+    if prefix2as is not None:
+        with open(os.path.join(path, _FILES["prefix2as"]), "w") as fp:
+            prefix2as.dump(fp)
+    if as2org is not None:
+        with open(os.path.join(path, _FILES["as2org"]), "w") as fp:
+            as2org.dump(fp)
+    if census is not None:
+        with open(os.path.join(path, _FILES["census"]), "w") as fp:
+            census.dump(fp)
+    if openresolvers is not None:
+        with open(os.path.join(path, _FILES["openresolvers"]), "w") as fp:
+            openresolvers.dump(fp)
+
+
+def dataset_bundle_load(path: str) -> DatasetBundle:
+    """Load whatever datasets exist under ``path``."""
+    bundle = DatasetBundle()
+    rsdos_path = os.path.join(path, _FILES["rsdos"])
+    if os.path.exists(rsdos_path):
+        with open(rsdos_path) as fp:
+            bundle.feed_records = RSDoSFeed.load_records(fp)
+    p2a_path = os.path.join(path, _FILES["prefix2as"])
+    if os.path.exists(p2a_path):
+        with open(p2a_path) as fp:
+            bundle.prefix2as = Prefix2AS.load(fp)
+    a2o_path = os.path.join(path, _FILES["as2org"])
+    if os.path.exists(a2o_path):
+        with open(a2o_path) as fp:
+            bundle.as2org = AS2Org.load(fp)
+    census_path = os.path.join(path, _FILES["census"])
+    if os.path.exists(census_path):
+        with open(census_path) as fp:
+            bundle.census = AnycastCensus.load(fp)
+    or_path = os.path.join(path, _FILES["openresolvers"])
+    if os.path.exists(or_path):
+        with open(or_path) as fp:
+            bundle.openresolvers = OpenResolverScan.load(fp)
+    return bundle

@@ -1,0 +1,224 @@
+"""Authoritative server engine: zone data -> wire-level responses.
+
+Implements the RFC 1034 §4.3.2 answering algorithm over :class:`Zone`
+objects: authoritative answers, CNAME chasing, delegations (referrals
+with glue), NODATA and NXDOMAIN with the SOA in the authority section —
+plus the response-size machinery the paper's §6.2 background rests on:
+signed zones attach RRSIGs when the query sets the DNSSEC-OK bit, and
+responses that exceed the client's UDP budget are truncated (TC=1),
+pushing the client to retry over TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dns.message import Edns, Message, encode_message
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode
+from repro.dns.rr import (
+    DnskeyData,
+    RRType,
+    RRset,
+    ResourceRecord,
+    RrsigData,
+)
+from repro.dns.zone import Zone
+
+#: Classic pre-EDNS UDP response budget (RFC 1035).
+CLASSIC_UDP_LIMIT = 512
+
+# A deliberately fake, fixed-size "signature": the simulation needs the
+# *size* behaviour of DNSSEC (RSA/2048 signatures are 256 bytes), not
+# cryptographic validity.
+_FAKE_SIGNATURE = bytes(256)
+_FAKE_KEY = bytes(258)
+_SIGNING_ALGORITHM = 8  # RSASHA256
+_VALIDITY = (1_600_000_000, 2_000_000_000)  # inception, expiration
+
+
+@dataclass
+class ServedZone:
+    """A zone plus its serving options."""
+
+    zone: Zone
+    signed: bool = False
+
+    @property
+    def apex(self) -> DomainName:
+        return self.zone.apex
+
+
+class AuthoritativeServer:
+    """Serves one or more zones, answering query messages."""
+
+    def __init__(self) -> None:
+        self._zones: Dict[DomainName, ServedZone] = {}
+        self.queries_served = 0
+
+    def add_zone(self, zone: Zone, signed: bool = False) -> None:
+        if zone.apex in self._zones:
+            raise ValueError(f"zone {zone.apex} already served")
+        self._zones[zone.apex] = ServedZone(zone=zone, signed=signed)
+
+    def zone_for(self, qname: DomainName) -> Optional[ServedZone]:
+        """The most specific served zone containing ``qname``."""
+        best: Optional[ServedZone] = None
+        for served in self._zones.values():
+            if qname.is_subdomain_of(served.apex):
+                if best is None or len(served.apex) > len(best.apex):
+                    best = served
+        return best
+
+    # -- answering ------------------------------------------------------------
+
+    def handle_query(self, query: Message, tcp: bool = False) -> Message:
+        """Answer one query message (RFC 1034 §4.3.2 flavour).
+
+        With ``tcp=False`` the response is truncated (emptied, TC=1)
+        when its wire form exceeds the client's UDP budget.
+        """
+        self.queries_served += 1
+        if not query.questions:
+            return query.response(rcode=Rcode.FORMERR, aa=False)
+        question = query.questions[0]
+        served = self.zone_for(question.qname)
+        if served is None:
+            return query.response(rcode=Rcode.REFUSED, aa=False)
+
+        response = query.response()
+        if query.edns:
+            response.edns = Edns(udp_payload_size=1232, do=query.edns.do)
+        want_dnssec = bool(query.edns and query.edns.do and served.signed)
+
+        self._resolve_in_zone(served, question.qname, question.qtype,
+                              response, want_dnssec)
+        if not tcp:
+            self._truncate_if_needed(response, query.max_udp_payload)
+        return response
+
+    def _resolve_in_zone(self, served: ServedZone, qname: DomainName,
+                         qtype: RRType, response: Message,
+                         want_dnssec: bool, depth: int = 0) -> None:
+        zone = served.zone
+        if depth > 8:  # CNAME loop guard
+            response.flags = response.flags.__class__(
+                qr=True, aa=True, rd=response.flags.rd, rcode=Rcode.SERVFAIL)
+            return
+
+        # Delegation below the apex? (A zone cut between apex and qname.)
+        cut = self._find_zone_cut(zone, qname)
+        if cut is not None:
+            cut_name, ns_rrset = cut
+            response.flags = response.flags.__class__(
+                qr=True, aa=False, rd=response.flags.rd, rcode=Rcode.NOERROR)
+            response.authorities.extend(ns_rrset.records)
+            self._add_glue(zone, ns_rrset, response)
+            return
+
+        if not zone.has_name(qname):
+            self._negative(zone, response, Rcode.NXDOMAIN)
+            return
+
+        rrset = zone.get_rrset(qname, qtype)
+        if rrset:
+            response.answers.extend(rrset.records)
+            if want_dnssec:
+                response.answers.append(self._sign(served, rrset))
+            return
+
+        cname = zone.get_rrset(qname, RRType.CNAME)
+        if cname and qtype != RRType.CNAME:
+            response.answers.extend(cname.records)
+            if want_dnssec:
+                response.answers.append(self._sign(served, cname))
+            target: DomainName = cname.records[0].rdata  # type: ignore
+            if target.is_subdomain_of(zone.apex):
+                self._resolve_in_zone(served, target, qtype, response,
+                                      want_dnssec, depth + 1)
+            return
+
+        self._negative(zone, response, Rcode.NOERROR)  # NODATA
+
+    @staticmethod
+    def _find_zone_cut(zone: Zone, qname: DomainName
+                       ) -> Optional[Tuple[DomainName, RRset]]:
+        """The closest-to-apex NS RRset at or below ``qname`` but below
+        the apex — a zone cut delegating the subtree away. The qname
+        itself can be the cut (a parent zone answering for a delegated
+        child, e.g. ``com`` asked about ``example.com``)."""
+        labels = qname.labels
+        apex_depth = len(zone.apex.labels)
+        for i in range(len(labels) - apex_depth - 1, -1, -1):
+            candidate = DomainName(labels[i:])
+            if candidate == zone.apex:
+                continue
+            ns = zone.get_rrset(candidate, RRType.NS)
+            if ns:
+                return candidate, ns
+        return None
+
+    @staticmethod
+    def _add_glue(zone: Zone, ns_rrset: RRset, response: Message) -> None:
+        for rr in ns_rrset.records:
+            host: DomainName = rr.rdata  # type: ignore[assignment]
+            glue = zone.get_rrset(host, RRType.A)
+            if glue:
+                response.additionals.extend(glue.records)
+
+    @staticmethod
+    def _negative(zone: Zone, response: Message, rcode: Rcode) -> None:
+        response.flags = response.flags.__class__(
+            qr=True, aa=True, rd=response.flags.rd, rcode=rcode)
+        soa = zone.get_rrset(zone.apex, RRType.SOA)
+        if soa:
+            response.authorities.extend(soa.records)
+
+    def _sign(self, served: ServedZone, rrset: RRset) -> ResourceRecord:
+        """Attach a size-faithful fake RRSIG covering ``rrset``."""
+        data = RrsigData(
+            type_covered=int(rrset.rtype),
+            algorithm=_SIGNING_ALGORITHM,
+            labels=len(rrset.name.labels),
+            original_ttl=rrset.ttl,
+            expiration=_VALIDITY[1],
+            inception=_VALIDITY[0],
+            key_tag=self._key_tag(served),
+            signer=served.apex,
+            signature=_FAKE_SIGNATURE)
+        return ResourceRecord(rrset.name, RRType.RRSIG, data, rrset.ttl)
+
+    @staticmethod
+    def _key_tag(served: ServedZone) -> int:
+        return sum(served.apex.to_text().encode()) % 0xFFFF
+
+    def dnskey_rrset(self, apex) -> RRset:
+        """The zone's (fake) DNSKEY RRset: one ZSK, one KSK."""
+        served = self._zones[DomainName(apex)]
+        if not served.signed:
+            raise ValueError(f"{served.apex} is not signed")
+        rrset = RRset(served.apex, RRType.DNSKEY)
+        rrset.add(DnskeyData(DnskeyData.ZONE_KEY_FLAG, 3,
+                             _SIGNING_ALGORITHM, _FAKE_KEY))
+        rrset.add(DnskeyData(DnskeyData.ZONE_KEY_FLAG | DnskeyData.SEP_FLAG,
+                             3, _SIGNING_ALGORITHM, _FAKE_KEY + b"\x01"))
+        return rrset
+
+    @staticmethod
+    def _truncate_if_needed(response: Message, udp_limit: int) -> None:
+        """RFC 2181 §9: oversized UDP responses are emptied and TC set."""
+        wire = encode_message(response)
+        if len(wire) <= udp_limit:
+            return
+        response.answers.clear()
+        response.authorities.clear()
+        response.additionals.clear()
+        response.flags = response.flags.__class__(
+            qr=True, aa=response.flags.aa, tc=True,
+            rd=response.flags.rd, rcode=response.flags.rcode)
+
+
+def response_size(response: Message) -> int:
+    """Wire size of a response (for the §6.2 TCP-adoption analysis)."""
+    return len(encode_message(response))

@@ -1,0 +1,101 @@
+"""A TTL-respecting DNS cache.
+
+OpenINTEL's *first* NS query per domain bypasses the cache by design
+(§3.2 of the paper) — the platform wants the live authoritative
+behaviour — but the cache still matters for two things we model: the
+reactive platform's repeated probes, and the end-user impact discussion
+(cached domains tolerate attacks better, per Moura et al. 2018).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType, RRset
+
+
+@dataclass
+class CacheEntry:
+    rrset: RRset
+    stored_at: int
+    ttl: int
+
+    def expires_at(self) -> int:
+        return self.stored_at + self.ttl
+
+    def is_fresh(self, now: int) -> bool:
+        return now < self.expires_at()
+
+    def remaining_ttl(self, now: int) -> int:
+        return max(0, self.expires_at() - now)
+
+
+class DnsCache:
+    """Positive-answer cache keyed by (qname, qtype).
+
+    ``max_entries`` bounds memory with FIFO-ish eviction of the oldest
+    insertion (good enough for simulation workloads).
+    """
+
+    def __init__(self, max_entries: int = 100_000):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple[DomainName, RRType], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, rrset: RRset, now: int, ttl: Optional[int] = None) -> None:
+        if not rrset:
+            return
+        if ttl is None:
+            ttl = rrset.ttl
+        if ttl <= 0:
+            return
+        key = (rrset.name, rrset.rtype)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            oldest = min(self._entries, key=lambda k: self._entries[k].stored_at)
+            del self._entries[oldest]
+        self._entries[key] = CacheEntry(rrset, now, ttl)
+
+    def get(self, qname, qtype: RRType, now: int) -> Optional[RRset]:
+        key = (DomainName(qname), qtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_fresh(now):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.rrset
+
+    def remaining_ttl(self, qname, qtype: RRType, now: int) -> int:
+        entry = self._entries.get((DomainName(qname), qtype))
+        if entry is None or not entry.is_fresh(now):
+            return 0
+        return entry.remaining_ttl(now)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def purge_expired(self, now: int) -> int:
+        """Drop expired entries; returns the number removed."""
+        stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
+        for key in stale:
+            del self._entries[key]
+        self.expirations += len(stale)
+        return len(stale)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,196 @@
+"""Iterative resolution over an in-memory DNS hierarchy.
+
+Completes the wire-level DNS substrate: a :class:`DnsUniverse` maps
+server addresses to :class:`AuthoritativeServer` instances (root, TLD,
+and leaf zones), and :class:`IterativeResolver` walks referrals from the
+root exactly as a recursive resolver would — sending EDNS0 queries,
+following delegations via glue, chasing CNAMEs across zones, and
+retrying over TCP when a response comes back truncated (the §6.2
+DNS-over-TCP path).
+
+The simulation hot path uses the abstract capacity-model transport for
+speed; this module exists so the protocol machinery is demonstrably
+complete and correct at the message level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.cache import DnsCache
+from repro.dns.message import Edns, Message
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode, ResponseStatus
+from repro.dns.rr import RRType, RRset, ResourceRecord
+from repro.net.ip import coerce_ip
+
+
+class DnsUniverse:
+    """Addressable authoritative servers, plus the root hints."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[int, AuthoritativeServer] = {}
+        self.root_hints: List[int] = []
+
+    def place_server(self, ip, server: AuthoritativeServer,
+                     is_root: bool = False) -> None:
+        addr = coerce_ip(ip)
+        self._servers[addr] = server
+        if is_root and addr not in self.root_hints:
+            self.root_hints.append(addr)
+
+    def server_at(self, ip) -> Optional[AuthoritativeServer]:
+        return self._servers.get(coerce_ip(ip))
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+
+@dataclass
+class IterationTrace:
+    """What one resolution did: for tests and debugging."""
+
+    queries_sent: int = 0
+    tcp_retries: int = 0
+    referrals_followed: int = 0
+    servers_contacted: List[int] = field(default_factory=list)
+
+
+@dataclass
+class IterativeResult:
+    status: ResponseStatus
+    answers: List[ResourceRecord] = field(default_factory=list)
+    trace: IterationTrace = field(default_factory=IterationTrace)
+
+    def rdatas(self) -> Tuple:
+        return tuple(rr.rdata for rr in self.answers)
+
+
+class IterativeResolver:
+    """Walks the delegation tree from the root hints."""
+
+    def __init__(self, universe: DnsUniverse, use_edns: bool = True,
+                 udp_payload_size: int = 1232, dnssec_ok: bool = False,
+                 max_referrals: int = 16,
+                 cache: Optional[DnsCache] = None):
+        if not universe.root_hints:
+            raise ValueError("universe has no root hints")
+        self.universe = universe
+        self.use_edns = use_edns
+        self.udp_payload_size = udp_payload_size
+        self.dnssec_ok = dnssec_ok
+        self.max_referrals = max_referrals
+        self.cache = cache
+        self._msg_ids = itertools.count(1)
+
+    # -- single server exchange -------------------------------------------------
+
+    def _exchange(self, server_ip: int, qname: DomainName, qtype: RRType,
+                  trace: IterationTrace) -> Optional[Message]:
+        server = self.universe.server_at(server_ip)
+        if server is None:
+            return None
+        query = Message.query(qname, qtype, msg_id=next(self._msg_ids) & 0xFFFF)
+        if self.use_edns:
+            query.edns = Edns(udp_payload_size=self.udp_payload_size,
+                              do=self.dnssec_ok)
+        trace.queries_sent += 1
+        trace.servers_contacted.append(server_ip)
+        response = server.handle_query(query, tcp=False)
+        if response.flags.tc:
+            # RFC 7766: retry the same question over TCP.
+            trace.tcp_retries += 1
+            trace.queries_sent += 1
+            response = server.handle_query(query, tcp=True)
+        return response
+
+    # -- full resolution ----------------------------------------------------------
+
+    def resolve(self, qname, qtype: RRType = RRType.A, now: int = 0
+                ) -> IterativeResult:
+        qname = DomainName(qname)
+        trace = IterationTrace()
+        if self.cache is not None:
+            cached = self.cache.get(qname, qtype, now)
+            if cached is not None:
+                return IterativeResult(ResponseStatus.OK,
+                                       list(cached.records), trace)
+        candidates = list(self.universe.root_hints)
+        current_name = qname
+        answers: List[ResourceRecord] = []
+        for _ in range(self.max_referrals):
+            response = self._next_response(candidates, current_name, qtype,
+                                           trace)
+            if response is None:
+                return IterativeResult(ResponseStatus.TIMEOUT, [], trace)
+            if response.flags.rcode == Rcode.NXDOMAIN:
+                return IterativeResult(ResponseStatus.NXDOMAIN, [], trace)
+            if response.flags.rcode == Rcode.SERVFAIL:
+                return IterativeResult(ResponseStatus.SERVFAIL, [], trace)
+            if response.flags.rcode == Rcode.REFUSED:
+                # A lame server; nothing else to try at this level.
+                return IterativeResult(ResponseStatus.SERVFAIL, [], trace)
+
+            direct = [rr for rr in response.answers
+                      if rr.rtype == qtype and rr.name == current_name]
+            cnames = [rr for rr in response.answers
+                      if rr.rtype == RRType.CNAME]
+            if direct or (response.flags.aa and not cnames):
+                answers.extend(response.answers)
+                result = IterativeResult(ResponseStatus.OK, answers, trace)
+                self._maybe_cache(qname, qtype, direct, now)
+                return result
+            if cnames:
+                answers.extend(response.answers)
+                target: DomainName = cnames[-1].rdata  # type: ignore
+                # An in-zone chase may already carry the final answer.
+                final = [rr for rr in response.answers
+                         if rr.rtype == qtype and rr.name == target]
+                if final:
+                    result = IterativeResult(ResponseStatus.OK, answers,
+                                             trace)
+                    self._maybe_cache(qname, qtype, final, now)
+                    return result
+                current_name = target
+                candidates = list(self.universe.root_hints)
+                trace.referrals_followed += 1
+                continue
+            referral_ips = self._referral_targets(response)
+            if not referral_ips:
+                return IterativeResult(ResponseStatus.SERVFAIL, answers, trace)
+            candidates = referral_ips
+            trace.referrals_followed += 1
+        return IterativeResult(ResponseStatus.SERVFAIL, answers, trace)
+
+    def _next_response(self, candidates: Sequence[int],
+                       current_name: DomainName, qtype: RRType,
+                       trace: IterationTrace) -> Optional[Message]:
+        for server_ip in candidates:
+            response = self._exchange(server_ip, current_name, qtype, trace)
+            if response is not None:
+                return response
+        return None
+
+    def _referral_targets(self, response: Message) -> List[int]:
+        """Glue addresses for the delegation's nameservers."""
+        glue: Dict[DomainName, List[int]] = {}
+        for rr in response.additionals:
+            if rr.rtype == RRType.A:
+                glue.setdefault(rr.name, []).append(rr.rdata)  # type: ignore
+        targets: List[int] = []
+        for rr in response.authorities:
+            if rr.rtype != RRType.NS:
+                continue
+            host: DomainName = rr.rdata  # type: ignore[assignment]
+            targets.extend(glue.get(host, []))
+        return targets
+
+    def _maybe_cache(self, qname: DomainName, qtype: RRType,
+                     direct: List[ResourceRecord], now: int) -> None:
+        if self.cache is None or not direct:
+            return
+        rrset = RRset(qname, qtype, list(direct))
+        self.cache.put(rrset, now)

@@ -1,0 +1,494 @@
+"""RFC 1035 wire-format codec with name compression.
+
+Implements enough of the DNS message format to serialize the queries
+and responses the measurement platforms exchange: header, question
+section, and A/NS/CNAME/SOA/TXT/AAAA records in the three RR sections.
+Compression pointers are emitted on encode and followed on decode
+(with loop protection).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.name import DomainName, MAX_LABEL_OCTETS
+from repro.dns.rcode import Rcode
+from repro.dns.rr import DnskeyData, RRClass, RRType, ResourceRecord, RrsigData, SoaData
+
+_HEADER = struct.Struct("!HHHHHH")
+_POINTER_MASK = 0xC0
+_MAX_POINTER_HOPS = 64
+
+
+class Opcode(enum.IntEnum):
+    """DNS header opcodes (the subset we use)."""
+
+    QUERY = 0
+    STATUS = 2
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The flag bits of the DNS header second word."""
+
+    qr: bool = False       # response?
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False       # authoritative answer
+    tc: bool = False       # truncated
+    rd: bool = True        # recursion desired
+    ra: bool = False       # recursion available
+    rcode: Rcode = Rcode.NOERROR
+
+    def to_int(self) -> int:
+        value = 0
+        if self.qr:
+            value |= 1 << 15
+        value |= (int(self.opcode) & 0xF) << 11
+        if self.aa:
+            value |= 1 << 10
+        if self.tc:
+            value |= 1 << 9
+        if self.rd:
+            value |= 1 << 8
+        if self.ra:
+            value |= 1 << 7
+        value |= int(self.rcode) & 0xF
+        return value
+
+    @classmethod
+    def from_int(cls, value: int) -> "Flags":
+        return cls(
+            qr=bool(value & (1 << 15)),
+            opcode=Opcode((value >> 11) & 0xF),
+            aa=bool(value & (1 << 10)),
+            tc=bool(value & (1 << 9)),
+            rd=bool(value & (1 << 8)),
+            ra=bool(value & (1 << 7)),
+            rcode=Rcode(value & 0xF),
+        )
+
+
+@dataclass(frozen=True)
+class Header:
+    msg_id: int
+    flags: Flags
+    qdcount: int = 0
+    ancount: int = 0
+    nscount: int = 0
+    arcount: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.msg_id <= 0xFFFF:
+            raise ValueError(f"invalid message id: {self.msg_id}")
+
+
+@dataclass(frozen=True)
+class Edns:
+    """EDNS0 parameters (RFC 6891): carried in an OPT pseudo-record.
+
+    The OPT record abuses the CLASS field for the requestor's UDP
+    payload size and the TTL for extended flags, so it lives on the
+    message (``Message.edns``) rather than in the additionals list.
+    ``do`` is the DNSSEC-OK bit: set it and signed zones return RRSIGs,
+    inflating responses past classic UDP limits (the §6.2 backdrop for
+    DNS-over-TCP's rise).
+    """
+
+    udp_payload_size: int = 1232
+    extended_rcode: int = 0
+    version: int = 0
+    do: bool = False
+    options: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 512 <= self.udp_payload_size <= 0xFFFF:
+            raise ValueError("udp_payload_size must be within [512, 65535]")
+        if not 0 <= self.extended_rcode <= 0xFF or not 0 <= self.version <= 0xFF:
+            raise ValueError("invalid EDNS header fields")
+
+    def ttl_field(self) -> int:
+        value = (self.extended_rcode << 24) | (self.version << 16)
+        if self.do:
+            value |= 1 << 15
+        return value
+
+    @classmethod
+    def from_wire_fields(cls, udp_size: int, ttl: int,
+                         options: bytes) -> "Edns":
+        return cls(udp_payload_size=max(512, udp_size),
+                   extended_rcode=(ttl >> 24) & 0xFF,
+                   version=(ttl >> 16) & 0xFF,
+                   do=bool(ttl & (1 << 15)),
+                   options=options)
+
+
+@dataclass(frozen=True)
+class Question:
+    qname: DomainName
+    qtype: RRType
+    qclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", DomainName(self.qname))
+
+
+@dataclass
+class Message:
+    """A DNS message: header flags plus the four sections."""
+
+    msg_id: int
+    flags: Flags = field(default_factory=Flags)
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authorities: List[ResourceRecord] = field(default_factory=list)
+    additionals: List[ResourceRecord] = field(default_factory=list)
+    #: EDNS0 parameters; encoded as an OPT pseudo-record when present.
+    edns: Optional[Edns] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.msg_id <= 0xFFFF:
+            raise ValueError(f"invalid message id: {self.msg_id}")
+
+    @property
+    def max_udp_payload(self) -> int:
+        """Largest UDP response the sender can accept (512 pre-EDNS)."""
+        return self.edns.udp_payload_size if self.edns else 512
+
+    @classmethod
+    def query(cls, qname, qtype: RRType, msg_id: int = 0, rd: bool = False) -> "Message":
+        """An explicit (non-recursive by default) query, as OpenINTEL sends."""
+        return cls(msg_id=msg_id, flags=Flags(rd=rd),
+                   questions=[Question(DomainName(qname), qtype)])
+
+    def response(self, rcode: Rcode = Rcode.NOERROR, aa: bool = True) -> "Message":
+        """A response skeleton echoing this query's id and question."""
+        return Message(msg_id=self.msg_id,
+                       flags=Flags(qr=True, aa=aa, rd=self.flags.rd, rcode=rcode),
+                       questions=list(self.questions))
+
+    def to_wire(self) -> bytes:
+        return encode_message(self)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.buf = bytearray()
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    def write_name(self, name: DomainName, compress: bool = True) -> None:
+        labels = name.labels
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            offset = self._offsets.get(suffix) if compress else None
+            if offset is not None and offset < 0x4000:
+                self.buf += struct.pack("!H", 0xC000 | offset)
+                return
+            if len(self.buf) < 0x4000:
+                self._offsets[suffix] = len(self.buf)
+            label = labels[i].encode("ascii")
+            if len(label) > MAX_LABEL_OCTETS:
+                raise ValueError(f"label too long: {labels[i]!r}")
+            self.buf.append(len(label))
+            self.buf += label
+        self.buf.append(0)
+
+    def write_u16(self, value: int) -> None:
+        self.buf += struct.pack("!H", value)
+
+    def write_u32(self, value: int) -> None:
+        self.buf += struct.pack("!I", value)
+
+    def write_rdata(self, rr: ResourceRecord) -> None:
+        """Write RDLENGTH + RDATA (patching the length afterwards so
+        compressed names inside rdata are handled uniformly)."""
+        length_at = len(self.buf)
+        self.write_u16(0)
+        start = len(self.buf)
+        if rr.rtype == RRType.A:
+            self.write_u32(rr.rdata)  # type: ignore[arg-type]
+        elif rr.rtype in (RRType.NS, RRType.CNAME):
+            self.write_name(rr.rdata)  # type: ignore[arg-type]
+        elif rr.rtype == RRType.SOA:
+            soa: SoaData = rr.rdata  # type: ignore[assignment]
+            self.write_name(soa.mname)
+            self.write_name(soa.rname)
+            for word in (soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum):
+                self.write_u32(word)
+        elif rr.rtype == RRType.TXT:
+            data: bytes = rr.rdata  # type: ignore[assignment]
+            for i in range(0, max(len(data), 1), 255):
+                chunk = data[i:i + 255]
+                self.buf.append(len(chunk))
+                self.buf += chunk
+        elif rr.rtype == RRType.AAAA:
+            self.buf += rr.rdata  # type: ignore[arg-type]
+        elif rr.rtype == RRType.RRSIG:
+            sig: RrsigData = rr.rdata  # type: ignore[assignment]
+            self.buf += struct.pack("!HBBIIIH", sig.type_covered,
+                                    sig.algorithm, sig.labels,
+                                    sig.original_ttl, sig.expiration,
+                                    sig.inception, sig.key_tag)
+            # RFC 4034: the signer name is never compressed.
+            self.write_name(sig.signer, compress=False)
+            self.buf += sig.signature
+        elif rr.rtype == RRType.DNSKEY:
+            key: DnskeyData = rr.rdata  # type: ignore[assignment]
+            self.buf += struct.pack("!HBB", key.flags, key.protocol,
+                                    key.algorithm)
+            self.buf += key.key
+        else:
+            raise ValueError(f"cannot encode rtype {rr.rtype}")
+        rdlen = len(self.buf) - start
+        struct.pack_into("!H", self.buf, length_at, rdlen)
+
+    def write_rr(self, rr: ResourceRecord) -> None:
+        self.write_name(rr.name)
+        self.write_u16(int(rr.rtype))
+        self.write_u16(int(rr.rclass))
+        self.write_u32(rr.ttl)
+        self.write_rdata(rr)
+
+    def write_opt(self, edns: Edns) -> None:
+        """The OPT pseudo-record: root owner, CLASS = UDP payload size,
+        TTL = extended flags (RFC 6891)."""
+        self.buf.append(0)  # root name
+        self.write_u16(int(RRType.OPT))
+        self.write_u16(edns.udp_payload_size)
+        self.write_u32(edns.ttl_field())
+        self.write_u16(len(edns.options))
+        self.buf += edns.options
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize a message to wire format."""
+    enc = _Encoder()
+    arcount = len(msg.additionals) + (1 if msg.edns else 0)
+    enc.buf += _HEADER.pack(msg.msg_id, msg.flags.to_int(),
+                            len(msg.questions), len(msg.answers),
+                            len(msg.authorities), arcount)
+    for q in msg.questions:
+        enc.write_name(q.qname)
+        enc.write_u16(int(q.qtype))
+        enc.write_u16(int(q.qclass))
+    for section in (msg.answers, msg.authorities, msg.additionals):
+        for rr in section:
+            enc.write_rr(rr)
+    if msg.edns:
+        enc.write_opt(msg.edns)
+    return bytes(enc.buf)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+class WireError(ValueError):
+    """Malformed wire data."""
+
+
+class _Decoder:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def need(self, n: int) -> None:
+        if self.pos + n > len(self.data):
+            raise WireError("truncated message")
+
+    def read_u8(self) -> int:
+        self.need(1)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def read_u16(self) -> int:
+        self.need(2)
+        (value,) = struct.unpack_from("!H", self.data, self.pos)
+        self.pos += 2
+        return value
+
+    def read_u32(self) -> int:
+        self.need(4)
+        (value,) = struct.unpack_from("!I", self.data, self.pos)
+        self.pos += 4
+        return value
+
+    def read_bytes(self, n: int) -> bytes:
+        self.need(n)
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def read_name(self) -> DomainName:
+        labels: List[str] = []
+        pos = self.pos
+        jumped = False
+        hops = 0
+        while True:
+            if pos >= len(self.data):
+                raise WireError("truncated name")
+            length = self.data[pos]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if pos + 1 >= len(self.data):
+                    raise WireError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self.data[pos + 1]
+                if not jumped:
+                    self.pos = pos + 2
+                    jumped = True
+                if target >= pos:
+                    raise WireError("forward compression pointer")
+                pos = target
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise WireError("compression pointer loop")
+                continue
+            if length & _POINTER_MASK:
+                raise WireError(f"bad label length byte: {length:#x}")
+            pos += 1
+            if length == 0:
+                if not jumped:
+                    self.pos = pos
+                break
+            if pos + length > len(self.data):
+                raise WireError("truncated label")
+            try:
+                labels.append(self.data[pos:pos + length].decode("ascii"))
+            except UnicodeDecodeError as exc:
+                raise WireError("non-ASCII label bytes") from exc
+            pos += length
+        try:
+            return DomainName(labels)
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+
+    def read_rr(self):
+        """Read one RR; returns an :class:`Edns` for OPT pseudo-records
+        (whose CLASS/TTL fields are not a class and a TTL)."""
+        name = self.read_name()
+        rtype_raw = self.read_u16()
+        rclass_raw = self.read_u16()
+        ttl = self.read_u32()
+        rdlen = self.read_u16()
+        end = self.pos + rdlen
+        self.need(rdlen)
+        if rtype_raw == int(RRType.OPT):
+            if not name.is_root:
+                raise WireError("OPT owner must be the root")
+            options = self.read_bytes(rdlen)
+            return Edns.from_wire_fields(rclass_raw, ttl, options)
+        try:
+            rtype = RRType(rtype_raw)
+        except ValueError as exc:
+            raise WireError(f"unsupported rtype {rtype_raw}") from exc
+        try:
+            rclass = RRClass(rclass_raw)
+        except ValueError as exc:
+            raise WireError(f"unsupported class {rclass_raw}") from exc
+        rdata = self._read_rdata(rtype, rdlen)
+        if self.pos != end:
+            raise WireError("rdata length mismatch")
+        return ResourceRecord(name, rtype, rdata, ttl, rclass)
+
+    def _read_rdata(self, rtype: RRType, rdlen: int):
+        if rtype == RRType.A:
+            if rdlen != 4:
+                raise WireError("A rdata must be 4 bytes")
+            return self.read_u32()
+        if rtype in (RRType.NS, RRType.CNAME):
+            return self.read_name()
+        if rtype == RRType.SOA:
+            mname = self.read_name()
+            rname = self.read_name()
+            serial = self.read_u32()
+            refresh = self.read_u32()
+            retry = self.read_u32()
+            expire = self.read_u32()
+            minimum = self.read_u32()
+            return SoaData(mname, rname, serial, refresh, retry, expire, minimum)
+        if rtype == RRType.TXT:
+            end = self.pos + rdlen
+            chunks = []
+            while self.pos < end:
+                n = self.read_u8()
+                chunks.append(self.read_bytes(n))
+            return b"".join(chunks)
+        if rtype == RRType.AAAA:
+            if rdlen != 16:
+                raise WireError("AAAA rdata must be 16 bytes")
+            return self.read_bytes(16)
+        if rtype == RRType.RRSIG:
+            fixed = 18
+            if rdlen < fixed + 1:
+                raise WireError("RRSIG rdata too short")
+            end = self.pos + rdlen
+            (type_covered, algorithm, labels, original_ttl, expiration,
+             inception, key_tag) = struct.unpack_from("!HBBIIIH", self.data,
+                                                      self.pos)
+            self.pos += fixed
+            signer = self.read_name()
+            if self.pos >= end:
+                raise WireError("RRSIG missing signature bytes")
+            signature = self.read_bytes(end - self.pos)
+            return RrsigData(type_covered, algorithm, labels, original_ttl,
+                             expiration, inception, key_tag, signer,
+                             signature)
+        if rtype == RRType.DNSKEY:
+            if rdlen < 5:
+                raise WireError("DNSKEY rdata too short")
+            flags, protocol, algorithm = struct.unpack_from(
+                "!HBB", self.data, self.pos)
+            self.pos += 4
+            key = self.read_bytes(rdlen - 4)
+            return DnskeyData(flags, protocol, algorithm, key)
+        raise WireError(f"unsupported rtype {rtype}")
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse wire format back into a :class:`Message`."""
+    dec = _Decoder(data)
+    dec.need(_HEADER.size)
+    msg_id, flags_raw, qd, an, ns, ar = _HEADER.unpack_from(data, 0)
+    dec.pos = _HEADER.size
+    try:
+        flags = Flags.from_int(flags_raw)
+    except ValueError as exc:  # unknown opcode/rcode bits
+        raise WireError(str(exc)) from exc
+    msg = Message(msg_id=msg_id, flags=flags)
+    for _ in range(qd):
+        qname = dec.read_name()
+        qtype_raw = dec.read_u16()
+        qclass_raw = dec.read_u16()
+        try:
+            qtype = RRType(qtype_raw)
+            qclass = RRClass(qclass_raw)
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+        msg.questions.append(Question(qname, qtype, qclass))
+    def read_section(count: int, section: List[ResourceRecord],
+                     allow_opt: bool) -> None:
+        for _ in range(count):
+            record = dec.read_rr()
+            if isinstance(record, Edns):
+                if not allow_opt:
+                    raise WireError("OPT record outside the additional section")
+                if msg.edns is not None:
+                    raise WireError("duplicate OPT record")
+                msg.edns = record
+            else:
+                section.append(record)
+
+    read_section(an, msg.answers, allow_opt=False)
+    read_section(ns, msg.authorities, allow_opt=False)
+    read_section(ar, msg.additionals, allow_opt=True)
+    if dec.pos != len(data):
+        raise WireError("trailing bytes after message")
+    return msg

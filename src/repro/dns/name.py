@@ -1,0 +1,165 @@
+"""Domain names: parsing, normalization, hierarchy, and IDN labels.
+
+Names are stored as tuples of lowercase labels in wire order (TLD last
+in presentation, but we keep presentation order and expose helpers).
+``mil.ru`` and its Cyrillic IDN twin from the paper's §5.2 both flow
+through here; IDN labels are carried in their ACE (``xn--``) form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Tuple
+
+MAX_NAME_OCTETS = 253
+MAX_LABEL_OCTETS = 63
+
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+_HOSTNAME_LABEL_RE = re.compile(r"^(?!-)[a-z0-9-]{1,63}(?<!-)$")
+
+
+def _encode_label(label: str) -> str:
+    """Lowercase a label, converting non-ASCII labels to ACE (xn--) form."""
+    label = label.strip().lower()
+    if not label:
+        raise ValueError("empty label")
+    if label.isascii():
+        return label
+    try:
+        ace = label.encode("idna").decode("ascii")
+    except UnicodeError as exc:
+        raise ValueError(f"cannot IDNA-encode label {label!r}") from exc
+    return ace
+
+
+class DomainName:
+    """An absolute DNS name (the trailing root dot is implicit).
+
+    >>> DomainName("WWW.Example.COM").labels
+    ('www', 'example', 'com')
+    >>> DomainName("минобороны.рф").to_text().startswith("xn--")
+    True
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, name):
+        if isinstance(name, DomainName):
+            labels: Tuple[str, ...] = name.labels
+        elif isinstance(name, (tuple, list)):
+            labels = tuple(_encode_label(l) for l in name)
+        elif isinstance(name, str):
+            text = name.strip().rstrip(".")
+            if not text:
+                labels = ()
+            else:
+                labels = tuple(_encode_label(l) for l in text.split("."))
+        else:
+            raise TypeError(f"cannot build DomainName from {type(name).__name__}")
+        total = sum(len(l) + 1 for l in labels)
+        if total > MAX_NAME_OCTETS + 1:
+            raise ValueError(f"name too long ({total} octets): {name!r}")
+        for label in labels:
+            if len(label) > MAX_LABEL_OCTETS:
+                raise ValueError(f"label too long: {label!r}")
+        object.__setattr__(self, "labels", labels)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DomainName is immutable")
+
+    # -- hierarchy ---------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return not self.labels
+
+    @property
+    def tld(self) -> Optional[str]:
+        return self.labels[-1] if self.labels else None
+
+    @property
+    def parent(self) -> "DomainName":
+        if self.is_root:
+            raise ValueError("the root has no parent")
+        return DomainName(self.labels[1:])
+
+    def is_subdomain_of(self, other: "DomainName") -> bool:
+        """True when ``self`` equals or falls under ``other``."""
+        other = DomainName(other)
+        n = len(other.labels)
+        if n == 0:
+            return True
+        return self.labels[-n:] == other.labels
+
+    def registered_domain(self, n_public_labels: int = 1) -> "DomainName":
+        """The registrable domain assuming the public suffix spans the
+        last ``n_public_labels`` labels (1 for .com/.nl/.ru, 2 for .co.uk).
+
+        The synthetic world uses single-label TLDs, so the default covers
+        it; the parameter exists for callers with deeper suffixes.
+        """
+        need = n_public_labels + 1
+        if len(self.labels) < need:
+            raise ValueError(f"{self} has no registrable domain below suffix")
+        return DomainName(self.labels[-need:])
+
+    def relativize(self, origin: "DomainName") -> Tuple[str, ...]:
+        """Labels of ``self`` below ``origin``."""
+        origin = DomainName(origin)
+        if not self.is_subdomain_of(origin):
+            raise ValueError(f"{self} is not under {origin}")
+        n = len(origin.labels)
+        return self.labels[: len(self.labels) - n]
+
+    def child(self, label: str) -> "DomainName":
+        return DomainName((label,) + self.labels)
+
+    # -- rendering / identity ---------------------------------------------
+
+    def to_text(self) -> str:
+        return ".".join(self.labels) if self.labels else "."
+
+    def to_wire_labels(self) -> Tuple[bytes, ...]:
+        return tuple(l.encode("ascii") for l in self.labels)
+
+    @property
+    def depth(self) -> int:
+        return len(self.labels)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"DomainName({self.to_text()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DomainName):
+            return self.labels == other.labels
+        if isinstance(other, str):
+            try:
+                return self.labels == DomainName(other).labels
+            except ValueError:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other: "DomainName") -> bool:
+        return tuple(reversed(self.labels)) < tuple(reversed(DomainName(other).labels))
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def is_valid_hostname(text: str) -> bool:
+    """RFC 952/1123 hostname check (letters/digits/hyphens per label)."""
+    text = text.strip().rstrip(".").lower()
+    if not text or len(text) > MAX_NAME_OCTETS:
+        return False
+    return all(_HOSTNAME_LABEL_RE.match(label) for label in text.split("."))
+
+
+def sort_names(names: Iterable[DomainName]) -> list:
+    """Canonical DNS ordering (by reversed label sequence)."""
+    return sorted(names, key=lambda n: tuple(reversed(n.labels)))

@@ -1,0 +1,67 @@
+"""DNS response codes and OpenINTEL-style response statuses.
+
+The wire protocol carries an RCODE; OpenINTEL's stored records use a
+coarser *status* that also covers network-level outcomes (a timeout has
+no RCODE because no response arrived). Both appear in the paper: §6.3.1
+reports failures split 92% TIMEOUT / 8% SERVFAIL.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Rcode(enum.IntEnum):
+    """RFC 1035/2136 response codes (the subset we use)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ResponseStatus(enum.Enum):
+    """Measurement-level outcome of a resolution attempt.
+
+    ``OK`` and ``SERVFAIL`` map onto RCODEs; ``TIMEOUT`` means every
+    retransmission went unanswered; ``NETWORK_ERROR`` covers ICMP
+    unreachable and similar transport failures.
+    """
+
+    OK = "ok"
+    SERVFAIL = "servfail"
+    NXDOMAIN = "nxdomain"
+    TIMEOUT = "timeout"
+    REFUSED = "refused"
+    NETWORK_ERROR = "network_error"
+
+    @property
+    def is_failure(self) -> bool:
+        return self not in (ResponseStatus.OK, ResponseStatus.NXDOMAIN)
+
+    @property
+    def is_answer(self) -> bool:
+        """True when an authoritative response (of any rcode) arrived."""
+        return self in (ResponseStatus.OK, ResponseStatus.SERVFAIL,
+                        ResponseStatus.NXDOMAIN, ResponseStatus.REFUSED)
+
+    @classmethod
+    def from_rcode(cls, rcode: Rcode) -> "ResponseStatus":
+        mapping = {
+            Rcode.NOERROR: cls.OK,
+            Rcode.SERVFAIL: cls.SERVFAIL,
+            Rcode.NXDOMAIN: cls.NXDOMAIN,
+            Rcode.REFUSED: cls.REFUSED,
+        }
+        try:
+            return mapping[rcode]
+        except KeyError:
+            raise ValueError(f"no measurement status for rcode {rcode!r}") from None
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,71 @@
+"""Nameserver identity and per-query reply types.
+
+The behavioural model of an authoritative server under load lives in
+:mod:`repro.world.capacity`; this module defines the identity tuple the
+rest of the system keys on and the reply a transport hands back to the
+resolver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode
+from repro.net.ip import ip_to_str, slash24_of
+
+
+@dataclass(frozen=True)
+class NameserverId:
+    """Identity of one authoritative nameserver: hostname + IPv4.
+
+    The paper keys everything on the IPv4 address (the RSDoS feed sees
+    victim IPs), so equality/hash include the address. One hostname can
+    map to several addresses and vice versa; each pairing is a distinct
+    NameserverId.
+    """
+
+    host: DomainName
+    ip: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "host", DomainName(self.host))
+        if not 0 <= self.ip < 2 ** 32:
+            raise ValueError(f"invalid IPv4 int: {self.ip}")
+
+    @property
+    def slash24(self) -> int:
+        return slash24_of(self.ip)
+
+    def __str__(self) -> str:
+        return f"{self.host}@{ip_to_str(self.ip)}"
+
+
+@dataclass(frozen=True)
+class ServerReply:
+    """What a server did with one query datagram.
+
+    ``rtt_ms`` is the round-trip as observed by the client when a
+    response arrived; ``None`` means the datagram (or its response) was
+    dropped and the client will hit its retransmission timer.
+    """
+
+    rtt_ms: Optional[float]
+    rcode: Rcode = Rcode.NOERROR
+
+    @property
+    def answered(self) -> bool:
+        return self.rtt_ms is not None
+
+    @classmethod
+    def dropped(cls) -> "ServerReply":
+        return cls(rtt_ms=None)
+
+    @classmethod
+    def ok(cls, rtt_ms: float) -> "ServerReply":
+        return cls(rtt_ms=float(rtt_ms), rcode=Rcode.NOERROR)
+
+    @classmethod
+    def servfail(cls, rtt_ms: float) -> "ServerReply":
+        return cls(rtt_ms=float(rtt_ms), rcode=Rcode.SERVFAIL)

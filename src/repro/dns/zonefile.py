@@ -1,0 +1,263 @@
+"""RFC 1035 master-file (zone file) reader and writer.
+
+Supports the subset the substrate uses: ``$ORIGIN`` and ``$TTL``
+directives, relative and absolute owner names, the blank-owner
+continuation convention, comments, quoted TXT strings, and the record
+types the library models (SOA, NS, A, AAAA, CNAME, TXT). Parenthesized
+multi-line SOA records are handled.
+
+This gives :class:`repro.dns.zone.Zone` a standard interchange format so
+users can load real zone snippets into the simulation or export
+generated zones for inspection with standard tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, TextIO, Tuple
+
+from repro.dns.name import DomainName
+from repro.dns.rr import DEFAULT_TTL, RRType, SoaData
+from repro.dns.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Malformed zone file input."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ; comment, honouring quoted strings."""
+    out = []
+    in_quotes = False
+    for ch in line:
+        if ch == '"':
+            in_quotes = not in_quotes
+        elif ch == ";" and not in_quotes:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _logical_lines(fp: TextIO) -> Iterator[Tuple[int, str]]:
+    """Yield (lineno, text) with parentheses-continued lines joined."""
+    buffer = ""
+    start_line = 0
+    depth = 0
+    for lineno, raw in enumerate(fp, start=1):
+        text = _strip_comment(raw.rstrip("\n"))
+        if not buffer:
+            start_line = lineno
+        depth += text.count("(") - text.count(")")
+        if depth < 0:
+            raise ZoneFileError(lineno, "unbalanced ')'")
+        buffer += (" " if buffer else "") + text
+        if depth == 0:
+            if buffer.strip():
+                yield start_line, buffer.replace("(", " ").replace(")", " ")
+            buffer = ""
+    if depth != 0:
+        raise ZoneFileError(start_line, "unbalanced '('")
+    if buffer.strip():
+        yield start_line, buffer
+
+
+_TTL_RE = re.compile(r"^\d+$")
+_CLASS_TOKENS = {"IN", "CH", "HS"}
+
+
+def _tokenize(text: str) -> List[str]:
+    """Split into tokens, keeping quoted strings intact."""
+    tokens = []
+    for match in re.finditer(r'"([^"]*)"|(\S+)', text):
+        if match.group(1) is not None:
+            tokens.append('"' + match.group(1) + '"')
+        else:
+            tokens.append(match.group(2))
+    return tokens
+
+
+def _resolve_name(token: str, origin: Optional[DomainName],
+                  lineno: int) -> DomainName:
+    if token == "@":
+        if origin is None:
+            raise ZoneFileError(lineno, "@ used without $ORIGIN")
+        return origin
+    if token.endswith("."):
+        return DomainName(token)
+    if origin is None:
+        raise ZoneFileError(lineno, f"relative name {token!r} without $ORIGIN")
+    return DomainName(token + "." + origin.to_text())
+
+
+def parse_zone_file(fp: TextIO, origin: Optional[str] = None) -> Zone:
+    """Parse a master file into a :class:`Zone`.
+
+    The zone apex is the ``$ORIGIN`` (from the file or the argument);
+    the SOA record must belong to the apex.
+    """
+    current_origin = DomainName(origin) if origin is not None else None
+    default_ttl = DEFAULT_TTL
+    zone: Optional[Zone] = None
+    last_owner: Optional[DomainName] = None
+    pending: List[Tuple[int, DomainName, int, RRType, List[str]]] = []
+
+    for lineno, text in _logical_lines(fp):
+        tokens = _tokenize(text)
+        if not tokens:
+            continue
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            if len(tokens) != 2 or not tokens[1].endswith("."):
+                raise ZoneFileError(lineno, "$ORIGIN needs an absolute name")
+            current_origin = DomainName(tokens[1])
+            continue
+        if directive == "$TTL":
+            if len(tokens) != 2 or not _TTL_RE.match(tokens[1]):
+                raise ZoneFileError(lineno, "$TTL needs an integer")
+            default_ttl = int(tokens[1])
+            continue
+        if directive.startswith("$"):
+            raise ZoneFileError(lineno, f"unsupported directive {tokens[0]}")
+
+        # Owner: blank (leading whitespace) means "previous owner".
+        if text[0] in " \t":
+            if last_owner is None:
+                raise ZoneFileError(lineno, "continuation without an owner")
+            owner = last_owner
+        else:
+            owner = _resolve_name(tokens[0], current_origin, lineno)
+            tokens = tokens[1:]
+        last_owner = owner
+
+        ttl = default_ttl
+        while tokens and (_TTL_RE.match(tokens[0])
+                          or tokens[0].upper() in _CLASS_TOKENS):
+            if _TTL_RE.match(tokens[0]):
+                ttl = int(tokens[0])
+            tokens = tokens[1:]
+        if not tokens:
+            raise ZoneFileError(lineno, "missing record type")
+        try:
+            rtype = RRType[tokens[0].upper()]
+        except KeyError:
+            raise ZoneFileError(lineno, f"unsupported type {tokens[0]!r}")
+        rdata_tokens = tokens[1:]
+
+        if rtype == RRType.SOA and zone is None:
+            soa = _parse_soa(rdata_tokens, current_origin, lineno)
+            apex = current_origin or owner
+            if owner != apex:
+                raise ZoneFileError(lineno, "SOA owner must be the apex")
+            zone = Zone(apex, soa)
+            continue
+        pending.append((lineno, owner, ttl, rtype, rdata_tokens))
+
+    if zone is None:
+        raise ZoneFileError(0, "zone file has no SOA record")
+    for lineno, owner, ttl, rtype, rdata_tokens in pending:
+        rdata = _parse_rdata(rtype, rdata_tokens, current_origin, lineno)
+        try:
+            zone.add_record(owner, rtype, rdata, ttl)
+        except ValueError as exc:
+            raise ZoneFileError(lineno, str(exc)) from exc
+    return zone
+
+
+def _parse_soa(tokens: List[str], origin: Optional[DomainName],
+               lineno: int) -> SoaData:
+    if len(tokens) != 7:
+        raise ZoneFileError(lineno, "SOA needs mname rname and 5 integers")
+    for value in tokens[2:]:
+        if not _TTL_RE.match(value):
+            raise ZoneFileError(lineno, f"SOA field {value!r} must be integer")
+    return SoaData(
+        mname=_resolve_name(tokens[0], origin, lineno),
+        rname=_resolve_name(tokens[1], origin, lineno),
+        serial=int(tokens[2]), refresh=int(tokens[3]), retry=int(tokens[4]),
+        expire=int(tokens[5]), minimum=int(tokens[6]))
+
+
+def _parse_rdata(rtype: RRType, tokens: List[str],
+                 origin: Optional[DomainName], lineno: int):
+    if rtype == RRType.A:
+        if len(tokens) != 1:
+            raise ZoneFileError(lineno, "A needs one address")
+        return tokens[0]
+    if rtype in (RRType.NS, RRType.CNAME):
+        if len(tokens) != 1:
+            raise ZoneFileError(lineno, f"{rtype} needs one name")
+        return _resolve_name(tokens[0], origin, lineno)
+    if rtype == RRType.TXT:
+        if not tokens:
+            raise ZoneFileError(lineno, "TXT needs at least one string")
+        chunks = []
+        for token in tokens:
+            if token.startswith('"') and token.endswith('"'):
+                chunks.append(token[1:-1])
+            else:
+                chunks.append(token)
+        return "".join(chunks)
+    if rtype == RRType.AAAA:
+        if len(tokens) != 1:
+            raise ZoneFileError(lineno, "AAAA needs one address")
+        return _parse_ipv6(tokens[0], lineno)
+    if rtype == RRType.SOA:
+        raise ZoneFileError(lineno, "duplicate SOA record")
+    raise ZoneFileError(lineno, f"unsupported type {rtype}")
+
+
+def _parse_ipv6(text: str, lineno: int) -> bytes:
+    """Minimal IPv6 text-to-bytes (:: compression supported)."""
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_parts = head.split(":") if head else []
+        tail_parts = tail.split(":") if tail else []
+        missing = 8 - len(head_parts) - len(tail_parts)
+        if missing < 0:
+            raise ZoneFileError(lineno, f"invalid IPv6 address {text!r}")
+        parts = head_parts + ["0"] * missing + tail_parts
+    else:
+        parts = text.split(":")
+    if len(parts) != 8:
+        raise ZoneFileError(lineno, f"invalid IPv6 address {text!r}")
+    try:
+        return b"".join(int(p or "0", 16).to_bytes(2, "big") for p in parts)
+    except (ValueError, OverflowError) as exc:
+        raise ZoneFileError(lineno, f"invalid IPv6 address {text!r}") from exc
+
+
+def _format_ipv6(data: bytes) -> str:
+    groups = [f"{int.from_bytes(data[i:i + 2], 'big'):x}"
+              for i in range(0, 16, 2)]
+    return ":".join(groups)
+
+
+def dump_zone_file(zone: Zone, fp: TextIO) -> None:
+    """Write a zone back out in master-file format."""
+    apex = zone.apex.to_text() + "."
+    fp.write(f"$ORIGIN {apex}\n")
+    fp.write(f"$TTL {DEFAULT_TTL}\n")
+    soa = zone.soa
+    fp.write(f"@ IN SOA {soa.mname}. {soa.rname}. "
+             f"{soa.serial} {soa.refresh} {soa.retry} "
+             f"{soa.expire} {soa.minimum}\n")
+    for rrset in sorted(zone.rrsets(), key=lambda r: (str(r.name), int(r.rtype))):
+        if rrset.rtype == RRType.SOA:
+            continue
+        for rr in rrset:
+            owner = rr.name.to_text() + "."
+            if rr.rtype == RRType.A:
+                rdata = rr.rdata_text()
+            elif rr.rtype in (RRType.NS, RRType.CNAME):
+                rdata = rr.rdata_text() + "."
+            elif rr.rtype == RRType.TXT:
+                rdata = '"' + rr.rdata_text() + '"'
+            elif rr.rtype == RRType.AAAA:
+                rdata = _format_ipv6(rr.rdata)  # type: ignore[arg-type]
+            else:
+                continue  # DNSSEC material is generated, not serialized
+            fp.write(f"{owner} {rr.ttl} IN {rr.rtype} {rdata}\n")

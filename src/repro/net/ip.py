@@ -1,0 +1,225 @@
+"""Int-backed IPv4 address and prefix types.
+
+Addresses are stored as plain 32-bit unsigned integers; the classes here
+are thin, hashable wrappers with parsing and formatting. Hot paths (the
+telescope, the join) work directly on ints via the module-level helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+IPV4_BITS = 32
+IPV4_SPACE = 1 << IPV4_BITS  # 2**32
+
+IPLike = Union[int, str, "IPv4Address"]
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad notation into an int. Strict: exactly four
+    decimal octets, no leading-zero ambiguity beyond plain ints."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part or not part.isdigit() or len(part) > 3:
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_to_str(value: int) -> str:
+    """Format a 32-bit int as dotted-quad."""
+    if not 0 <= value < IPV4_SPACE:
+        raise ValueError(f"IPv4 int out of range: {value}")
+    return f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+
+def coerce_ip(value: IPLike) -> int:
+    """Accept an int, a dotted-quad string, or an IPv4Address; return int."""
+    if isinstance(value, IPv4Address):
+        return value.value
+    if isinstance(value, int):
+        if not 0 <= value < IPV4_SPACE:
+            raise ValueError(f"IPv4 int out of range: {value}")
+        return value
+    return parse_ip(value)
+
+
+def mask_of(length: int) -> int:
+    """Netmask int for a prefix length."""
+    if not 0 <= length <= IPV4_BITS:
+        raise ValueError(f"invalid prefix length: {length}")
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (IPV4_BITS - length)
+
+
+def network_of(ip: int, length: int) -> int:
+    """Network base address of ``ip`` at prefix length ``length``."""
+    return ip & mask_of(length)
+
+
+def slash24_of(ip: int) -> int:
+    """Base address of the /24 containing ``ip`` (the paper's aggregation
+    granularity for prefix diversity and the anycast census match)."""
+    return ip & 0xFFFFFF00
+
+
+def slash16_of(ip: int) -> int:
+    return ip & 0xFFFF0000
+
+
+def parse_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``a.b.c.d/len`` into a canonical (network, length) pair."""
+    if "/" not in text:
+        raise ValueError(f"prefix must contain '/': {text!r}")
+    ip_part, _, len_part = text.partition("/")
+    if not len_part.isdigit():
+        raise ValueError(f"invalid prefix length in {text!r}")
+    length = int(len_part)
+    base = network_of(parse_ip(ip_part), length)
+    return base, length
+
+
+class IPv4Address:
+    """A hashable, totally-ordered IPv4 address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: IPLike):
+        object.__setattr__(self, "value", coerce_ip(value))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IPv4Address is immutable")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return ip_to_str(self.value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({ip_to_str(self.value)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < int(other)
+
+    def __le__(self, other: "IPv4Address") -> bool:
+        return self.value <= int(other)
+
+    def __gt__(self, other: "IPv4Address") -> bool:
+        return self.value > int(other)
+
+    def __ge__(self, other: "IPv4Address") -> bool:
+        return self.value >= int(other)
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    @property
+    def slash24(self) -> "IPv4Prefix":
+        return IPv4Prefix(slash24_of(self.value), 24)
+
+    def in_prefix(self, prefix: "IPv4Prefix") -> bool:
+        return prefix.contains_ip(self.value)
+
+
+class IPv4Prefix:
+    """A CIDR prefix, canonicalized so the host bits are zero."""
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, network: IPLike, length: int):
+        base = coerce_ip(network)
+        if not 0 <= length <= IPV4_BITS:
+            raise ValueError(f"invalid prefix length: {length}")
+        canonical = network_of(base, length)
+        if canonical != base:
+            raise ValueError(
+                f"{ip_to_str(base)}/{length} has host bits set; "
+                f"did you mean {ip_to_str(canonical)}/{length}?")
+        object.__setattr__(self, "network", canonical)
+        object.__setattr__(self, "length", length)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IPv4Prefix is immutable")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        base, length = parse_prefix(text)
+        return cls(base, length)
+
+    @classmethod
+    def containing(cls, ip: IPLike, length: int) -> "IPv4Prefix":
+        """The /length prefix containing ``ip`` (host bits stripped)."""
+        return cls(network_of(coerce_ip(ip), length), length)
+
+    @property
+    def mask(self) -> int:
+        return mask_of(self.length)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (IPV4_BITS - self.length)
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network | (self.num_addresses - 1)
+
+    def contains_ip(self, ip: IPLike) -> bool:
+        return (coerce_ip(ip) & self.mask) == self.network
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        return other.length >= self.length and self.contains_ip(other.network)
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate every address int in the prefix (careful with short
+        prefixes: a /9 has 8M addresses)."""
+        return iter(range(self.first, self.last + 1))
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        if new_length < self.length or new_length > IPV4_BITS:
+            raise ValueError("new_length must be within [length, 32]")
+        step = 1 << (IPV4_BITS - new_length)
+        for base in range(self.first, self.last + 1, step):
+            yield IPv4Prefix(base, new_length)
+
+    def random_ip(self, rng) -> int:
+        """A uniformly random address inside the prefix."""
+        return self.network | rng.randrange(self.num_addresses)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Prefix):
+            return self.network == other.network and self.length == other.length
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Prefix") -> bool:
+        return (self.network, self.length) < (other.network, other.length)
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.length))
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix.parse({str(self)!r})"
+
+    def __contains__(self, ip: IPLike) -> bool:
+        return self.contains_ip(ip)

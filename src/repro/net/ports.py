@@ -1,0 +1,60 @@
+"""Transport protocols and well-known ports used in the attack analysis.
+
+The paper's §6.2 characterizes attacks by IP protocol (TCP/UDP/ICMP) and
+first destination port; port 80 (HTTP), 53 (DNS) and 443 (HTTPS) carry
+the findings, so they get named constants here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_PROTO_NAMES: Dict[int, str] = {
+    PROTO_ICMP: "ICMP",
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+}
+
+PORT_DNS = 53
+PORT_HTTP = 80
+PORT_HTTPS = 443
+PORT_NTP = 123
+PORT_SSH = 22
+PORT_SMTP = 25
+PORT_MEMCACHED = 11211
+
+_PORT_NAMES: Dict[int, str] = {
+    PORT_DNS: "DNS",
+    PORT_HTTP: "HTTP",
+    PORT_HTTPS: "HTTPS",
+    PORT_NTP: "NTP",
+    PORT_SSH: "SSH",
+    PORT_SMTP: "SMTP",
+    PORT_MEMCACHED: "MEMCACHED",
+}
+
+
+def proto_name(proto: int) -> str:
+    """Human name for an IP protocol number (falls back to the number)."""
+    return _PROTO_NAMES.get(proto, f"proto{proto}")
+
+
+def port_name(port: int) -> str:
+    """Human name for a well-known port (falls back to the number)."""
+    return _PORT_NAMES.get(port, str(port))
+
+
+def validate_port(port: int) -> int:
+    if not 0 <= port <= 0xFFFF:
+        raise ValueError(f"invalid port: {port}")
+    return port
+
+
+def validate_proto(proto: int) -> int:
+    if not 0 <= proto <= 0xFF:
+        raise ValueError(f"invalid IP protocol: {proto}")
+    return proto

@@ -1,0 +1,159 @@
+"""Binary radix (Patricia-style) trie for longest-prefix matching.
+
+Backs the prefix2AS dataset lookups (mapping an attacked IP to its
+origin AS) exactly as CAIDA's RouteViews-derived dataset is used in the
+paper. Supports insert, exact lookup, longest-prefix match, and covered
+enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.ip import IPV4_BITS, coerce_ip, network_of
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps CIDR prefixes to values with longest-prefix-match semantics.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert("10.0.0.0/8", "corp")
+    >>> trie.insert("10.1.0.0/16", "lab")
+    >>> trie.longest_match("10.1.2.3")
+    (('10.1.0.0/16' network int, 16), 'lab')  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _bits(network: int, length: int) -> Iterator[int]:
+        for i in range(length):
+            yield (network >> (IPV4_BITS - 1 - i)) & 1
+
+    @staticmethod
+    def _key(prefix) -> Tuple[int, int]:
+        """Accept an IPv4Prefix, an ``(int, len)`` pair, or a CIDR string."""
+        if isinstance(prefix, tuple):
+            network, length = prefix
+            return network_of(coerce_ip(network), length), int(length)
+        if isinstance(prefix, str):
+            from repro.net.ip import parse_prefix
+
+            return parse_prefix(prefix)
+        return prefix.network, prefix.length
+
+    def insert(self, prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        network, length = self._key(prefix)
+        node = self._root
+        for bit in self._bits(network, length):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def exact(self, prefix) -> Optional[V]:
+        """Value stored exactly at ``prefix``, or None."""
+        network, length = self._key(prefix)
+        node = self._root
+        for bit in self._bits(network, length):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def longest_match(self, ip) -> Optional[Tuple[Tuple[int, int], V]]:
+        """Longest-prefix match for an address.
+
+        Returns ``((network, length), value)`` of the most specific
+        covering prefix, or None when nothing covers the address.
+        """
+        addr = coerce_ip(ip)
+        node = self._root
+        best: Optional[Tuple[Tuple[int, int], V]] = None
+        if node.has_value:
+            best = ((0, 0), node.value)  # default route
+        for depth in range(IPV4_BITS):
+            bit = (addr >> (IPV4_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                length = depth + 1
+                best = ((network_of(addr, length), length), node.value)
+        return best
+
+    def lookup(self, ip) -> Optional[V]:
+        """Just the value of the longest match (the common call)."""
+        match = self.longest_match(ip)
+        return match[1] if match else None
+
+    def covered(self, prefix) -> Iterator[Tuple[Tuple[int, int], V]]:
+        """All stored prefixes equal to or more specific than ``prefix``."""
+        network, length = self._key(prefix)
+        node = self._root
+        for bit in self._bits(network, length):
+            child = node.children[bit]
+            if child is None:
+                return
+            node = child
+        yield from self._walk(node, network, length)
+
+    def _walk(self, node: _Node[V], network: int, length: int
+              ) -> Iterator[Tuple[Tuple[int, int], V]]:
+        if node.has_value:
+            yield (network, length), node.value
+        if length >= IPV4_BITS:
+            return
+        zero, one = node.children
+        if zero is not None:
+            yield from self._walk(zero, network, length + 1)
+        if one is not None:
+            yield from self._walk(one, network | (1 << (IPV4_BITS - 1 - length)), length + 1)
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], V]]:
+        """All (prefix, value) pairs in the trie, in address order."""
+        return self._walk(self._root, 0, 0)
+
+    def remove(self, prefix) -> bool:
+        """Remove the value at ``prefix``; returns True if it existed.
+
+        Leaves structural nodes in place (fine for our workloads, which
+        build once and query many times).
+        """
+        network, length = self._key(prefix)
+        node = self._root
+        for bit in self._bits(network, length):
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True

@@ -1,0 +1,65 @@
+"""Measurement record schema and serialization.
+
+A :class:`Measurement` is one resolution of one domain's NS RRset: the
+timestamp the worker issued it, the domain and its NSSet, the outcome
+status, and the round-trip time to *complete* the query — including
+retransmission timeouts burned on unresponsive servers, which is what
+makes RTT the paper's impact signal.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from repro.dns.rcode import ResponseStatus
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One domain resolution outcome."""
+
+    ts: int
+    domain_id: int
+    nsset_id: int
+    status: ResponseStatus
+    rtt_ms: float
+    n_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ValueError("rtt must be non-negative")
+        if self.n_attempts < 1:
+            raise ValueError("n_attempts must be >= 1")
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK
+
+
+_FIELDS = ("ts", "domain_id", "nsset_id", "status", "rtt_ms", "n_attempts")
+
+
+def dump_measurements(measurements: Iterable[Measurement], fp: TextIO) -> None:
+    writer = csv.writer(fp)
+    writer.writerow(_FIELDS)
+    for m in measurements:
+        writer.writerow([m.ts, m.domain_id, m.nsset_id, m.status.value,
+                         f"{m.rtt_ms:.3f}", m.n_attempts])
+
+
+def load_measurements(fp: TextIO) -> Iterator[Measurement]:
+    reader = csv.reader(fp)
+    header = next(reader, None)
+    if tuple(header or ()) != _FIELDS:
+        raise ValueError("unexpected measurement header")
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(_FIELDS):
+            raise ValueError(f"line {lineno}: wrong field count")
+        yield Measurement(ts=int(row[0]), domain_id=int(row[1]),
+                          nsset_id=int(row[2]),
+                          status=ResponseStatus(row[3]),
+                          rtt_ms=float(row[4]), n_attempts=int(row[5]))

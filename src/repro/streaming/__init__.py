@@ -1,0 +1,23 @@
+"""In-process streaming substrate (Kafka/Spark-Structured-Streaming analog).
+
+The paper's reactive measurement platform is built on Kafka topics and
+Spark Structured Streaming jobs. This package provides the same
+primitives in-process: ordered topics with offset-tracking consumers, a
+discrete-event scheduler, and small stream processors (filter/map/
+window join) — enough to express the reactive pipeline faithfully.
+"""
+
+from repro.streaming.topic import Broker, Consumer, Topic
+from repro.streaming.scheduler import EventScheduler, ScheduledEvent
+from repro.streaming.processors import FilterProcessor, MapProcessor, StreamJob
+
+__all__ = [
+    "Broker",
+    "Consumer",
+    "Topic",
+    "EventScheduler",
+    "ScheduledEvent",
+    "FilterProcessor",
+    "MapProcessor",
+    "StreamJob",
+]

@@ -1,0 +1,94 @@
+"""Small stream processors: the Spark-Structured-Streaming analog.
+
+A :class:`StreamJob` consumes one topic, applies a chain of processors,
+and produces to another topic. Jobs are pumped explicitly (``step()``),
+keeping the whole pipeline deterministic and single-threaded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, List, Optional, TypeVar
+
+from repro.streaming.topic import Broker, Consumer, Record, Topic
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+class Processor(Generic[T, U]):
+    """Transforms one record into zero or more output values."""
+
+    def process(self, record: Record[T]) -> Iterable[U]:
+        raise NotImplementedError
+
+
+class MapProcessor(Processor[T, U]):
+    """Applies a function to each record value."""
+
+    def __init__(self, fn: Callable[[T], U]):
+        self.fn = fn
+
+    def process(self, record: Record[T]) -> Iterable[U]:
+        yield self.fn(record.value)
+
+
+class FilterProcessor(Processor[T, T]):
+    """Drops records failing a predicate."""
+
+    def __init__(self, predicate: Callable[[T], bool]):
+        self.predicate = predicate
+
+    def process(self, record: Record[T]) -> Iterable[T]:
+        if self.predicate(record.value):
+            yield record.value
+
+
+class FlatMapProcessor(Processor[T, U]):
+    """Expands each record into many values."""
+
+    def __init__(self, fn: Callable[[T], Iterable[U]]):
+        self.fn = fn
+
+    def process(self, record: Record[T]) -> Iterable[U]:
+        return self.fn(record.value)
+
+
+class StreamJob:
+    """source topic -> processors -> sink topic."""
+
+    def __init__(self, broker: Broker, source: str, sink: str,
+                 processors: List[Processor], name: Optional[str] = None):
+        self.broker = broker
+        self.consumer: Consumer = broker.consumer(source, group=name or sink)
+        self.sink: Topic = broker.topic(sink)
+        self.processors = processors
+        self.name = name or f"{source}->{sink}"
+        self.n_in = 0
+        self.n_out = 0
+
+    def step(self, max_records: Optional[int] = None) -> int:
+        """Process newly-available records; returns how many were read."""
+        records = self.consumer.poll(max_records)
+        for record in records:
+            self.n_in += 1
+            values: Iterable[Any] = (record,)
+            outputs: List[Any] = [record.value]
+            for processor in self.processors:
+                next_outputs: List[Any] = []
+                for value in outputs:
+                    next_outputs.extend(
+                        processor.process(Record(record.offset, record.ts, value)))
+                outputs = next_outputs
+            for value in outputs:
+                self.sink.produce(record.ts, value)
+                self.n_out += 1
+        return len(records)
+
+    def drain(self) -> int:
+        """Step until the source is exhausted."""
+        total = 0
+        while True:
+            n = self.step()
+            if n == 0:
+                return total
+            total += n

@@ -1,0 +1,101 @@
+"""Topics and consumers: ordered, replayable, offset-tracked streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Record(Generic[T]):
+    """A timestamped record on a topic."""
+
+    offset: int
+    ts: int
+    value: T
+
+
+class Topic(Generic[T]):
+    """An append-only ordered log of timestamped records."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._log: List[Record[T]] = []
+
+    def produce(self, ts: int, value: T) -> Record[T]:
+        """Append a record; timestamps must be non-decreasing."""
+        if self._log and ts < self._log[-1].ts:
+            raise ValueError(
+                f"out-of-order produce on {self.name}: {ts} < {self._log[-1].ts}")
+        record = Record(offset=len(self._log), ts=int(ts), value=value)
+        self._log.append(record)
+        return record
+
+    def read(self, offset: int, max_records: Optional[int] = None
+             ) -> List[Record[T]]:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        end = len(self._log) if max_records is None else offset + max_records
+        return self._log[offset:end]
+
+    @property
+    def end_offset(self) -> int:
+        return len(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self) -> Iterator[Record[T]]:
+        return iter(self._log)
+
+
+class Consumer(Generic[T]):
+    """An offset-tracking reader of one topic."""
+
+    def __init__(self, topic: Topic[T], group: str = "default",
+                 from_beginning: bool = True):
+        self.topic = topic
+        self.group = group
+        self.offset = 0 if from_beginning else topic.end_offset
+
+    def poll(self, max_records: Optional[int] = None) -> List[Record[T]]:
+        """New records since the last poll; advances the offset."""
+        records = self.topic.read(self.offset, max_records)
+        self.offset += len(records)
+        return records
+
+    @property
+    def lag(self) -> int:
+        return self.topic.end_offset - self.offset
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= self.topic.end_offset:
+            raise ValueError(f"offset {offset} out of range")
+        self.offset = offset
+
+
+class Broker:
+    """A registry of named topics."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic[Any]] = {}
+
+    def topic(self, name: str) -> Topic[Any]:
+        """Get or create a topic."""
+        topic = self._topics.get(name)
+        if topic is None:
+            topic = Topic(name)
+            self._topics[name] = topic
+        return topic
+
+    def consumer(self, name: str, group: str = "default",
+                 from_beginning: bool = True) -> Consumer[Any]:
+        return Consumer(self.topic(name), group, from_beginning)
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics

@@ -1,0 +1,135 @@
+"""The curated RSDoS feed: records, container, serialization.
+
+Mirrors CAIDA's published schema: one record per (victim, 5-minute
+window) with protocol, first targeted port, number of unique ports,
+peak packet rate, and darknet /16 breadth — plus the attack-level
+aggregation (:class:`repro.telescope.rsdos.InferredAttack`) that the
+longitudinal tables count.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.attacks.model import Attack
+from repro.telescope.backscatter import BackscatterSimulator, WindowObservation
+from repro.telescope.rsdos import InferredAttack, RSDoSClassifier, RSDoSThresholds
+from repro.net.ip import ip_to_str, parse_ip, slash24_of
+from repro.util.timeutil import Window
+
+#: The paper's extrapolation constant (telescope covers 1/341.33).
+EXTRAPOLATION = 341.33
+
+
+def ppm_to_victim_pps(ppm: float, extrapolation: float = EXTRAPOLATION) -> float:
+    """Footnote 2 of the paper: telescope ppm -> global victim pps."""
+    return ppm * extrapolation / 60.0
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """One curated feed row (victim x 5-minute window)."""
+
+    window_ts: int
+    victim_ip: int
+    proto: int
+    first_port: int
+    n_ports: int
+    n_packets: int
+    max_ppm: float
+    n_slash16: int
+    n_unique_sources: int
+
+    @classmethod
+    def from_observation(cls, obs: WindowObservation) -> "FeedRecord":
+        return cls(window_ts=obs.window_ts, victim_ip=obs.victim_ip,
+                   proto=obs.proto, first_port=obs.first_port,
+                   n_ports=obs.n_ports, n_packets=obs.n_packets,
+                   max_ppm=obs.max_ppm, n_slash16=obs.n_slash16,
+                   n_unique_sources=obs.n_unique_sources)
+
+
+class RSDoSFeed:
+    """The full curated dataset: window records + inferred attacks."""
+
+    def __init__(self, records: Sequence[FeedRecord],
+                 attacks: Sequence[InferredAttack]):
+        self.records: List[FeedRecord] = sorted(
+            records, key=lambda r: (r.window_ts, r.victim_ip))
+        self.attacks: List[InferredAttack] = sorted(
+            attacks, key=lambda a: (a.start, a.victim_ip))
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def observe(cls, ground_truth: Iterable[Attack],
+                simulator: BackscatterSimulator,
+                thresholds: Optional[RSDoSThresholds] = None) -> "RSDoSFeed":
+        """Run the full telescope pipeline over a ground-truth schedule."""
+        observations = list(simulator.observe_all(ground_truth))
+        classifier = RSDoSClassifier(thresholds)
+        inferred = classifier.infer(observations)
+        # Curated records keep only windows belonging to inferred attacks.
+        keep: Dict[int, List[Window]] = {}
+        for attack in inferred:
+            keep.setdefault(attack.victim_ip, []).append(attack.window)
+        records = [FeedRecord.from_observation(o) for o in observations
+                   if any(w.contains(o.window_ts) for w in keep.get(o.victim_ip, ()))]
+        return cls(records, inferred)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.attacks)
+
+    def victims(self) -> List[int]:
+        return sorted({a.victim_ip for a in self.attacks})
+
+    def victim_slash24s(self) -> List[int]:
+        return sorted({slash24_of(a.victim_ip) for a in self.attacks})
+
+    def attacks_on(self, victim_ip: int) -> List[InferredAttack]:
+        return [a for a in self.attacks if a.victim_ip == victim_ip]
+
+    def records_of(self, attack: InferredAttack) -> List[FeedRecord]:
+        return [r for r in self.records
+                if r.victim_ip == attack.victim_ip
+                and attack.window.contains(r.window_ts)]
+
+    def in_window(self, window: Window) -> List[InferredAttack]:
+        return [a for a in self.attacks
+                if a.start < window.end and window.start < a.end]
+
+    # -- serialization (CSV, CAIDA-flavoured) --------------------------------------
+
+    _RECORD_FIELDS = [f.name for f in fields(FeedRecord)]
+
+    def dump_records(self, fp: TextIO) -> None:
+        writer = csv.writer(fp)
+        writer.writerow(self._RECORD_FIELDS)
+        for r in self.records:
+            writer.writerow([
+                r.window_ts, ip_to_str(r.victim_ip), r.proto, r.first_port,
+                r.n_ports, r.n_packets, f"{r.max_ppm:.3f}", r.n_slash16,
+                r.n_unique_sources])
+
+    @classmethod
+    def load_records(cls, fp: TextIO) -> List[FeedRecord]:
+        reader = csv.reader(fp)
+        header = next(reader, None)
+        if header != cls._RECORD_FIELDS:
+            raise ValueError("unexpected feed header")
+        out = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(cls._RECORD_FIELDS):
+                raise ValueError(f"line {lineno}: wrong field count")
+            out.append(FeedRecord(
+                window_ts=int(row[0]), victim_ip=parse_ip(row[1]),
+                proto=int(row[2]), first_port=int(row[3]), n_ports=int(row[4]),
+                n_packets=int(row[5]), max_ppm=float(row[6]),
+                n_slash16=int(row[7]), n_unique_sources=int(row[8])))
+        return out

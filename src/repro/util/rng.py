@@ -1,0 +1,119 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of the simulation (attack scheduling, spoofed
+source sampling, resolver nameserver choice, ...) draws from its own
+named stream derived from a single root seed. Components therefore stay
+reproducible *independently*: adding draws to one stream never perturbs
+another, which keeps scenario outputs stable as the library evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_SEED_BYTES = 8
+
+
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a child seed from ``root_seed`` and a path of stream names.
+
+    Uses BLAKE2b over the root seed and the name path, so the mapping is
+    stable across Python versions and processes (unlike ``hash()``).
+    """
+    h = hashlib.blake2b(digest_size=_SEED_BYTES)
+    h.update(str(int(root_seed)).encode("ascii"))
+    for name in names:
+        h.update(b"\x00")
+        h.update(name.encode("utf-8"))
+    return int.from_bytes(h.digest(), "big")
+
+
+class RngStreams:
+    """A family of independent :class:`random.Random` streams.
+
+    >>> streams = RngStreams(42)
+    >>> a = streams.stream("attacks")
+    >>> b = streams.stream("resolver")
+    >>> a is streams.stream("attacks")
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, *names: str) -> random.Random:
+        """Return (creating if needed) the stream for the given name path."""
+        key = "\x00".join(names)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = random.Random(derive_seed(self.root_seed, *names))
+            self._streams[key] = rng
+        return rng
+
+    def fork(self, *names: str) -> "RngStreams":
+        """Return a child family rooted at a seed derived from ``names``.
+
+        Useful for handing a subsystem its own namespace of streams.
+        """
+        return RngStreams(derive_seed(self.root_seed, "fork", *names))
+
+    def spawn_seed(self, *names: str) -> int:
+        """Derive a raw integer seed (for APIs that take seeds, not RNGs)."""
+        return derive_seed(self.root_seed, "seed", *names)
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    x = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if x < acc:
+            return item
+    return items[-1]
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> List[float]:
+    """Weights of a Zipf-like distribution over ranks ``1..n``.
+
+    Used to size hosting providers: a few giants, a long tail, as in the
+    real DNS hosting market.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    return [1.0 / ((rank + 1) ** alpha) for rank in range(n)]
+
+
+def sample_unique(rng: random.Random, population: int, k: int) -> Iterable[int]:
+    """Sample ``k`` distinct integers from ``range(population)``.
+
+    Falls back to rejection sampling when ``k`` is small relative to the
+    population, which is the common case when spoofing source addresses
+    out of the 2^32 IPv4 space.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k > population:
+        raise ValueError("cannot sample more unique values than the population")
+    if population <= 0:
+        return []
+    if k * 20 < population:
+        seen = set()
+        while len(seen) < k:
+            seen.add(rng.randrange(population))
+        return seen
+    return rng.sample(range(population), k)

@@ -1,0 +1,299 @@
+"""Summary statistics used across the analysis pipeline.
+
+Implements exactly what the paper needs — running means per 5-minute
+bucket, Pearson correlation for the intensity/duration analyses (§6.4,
+§6.5), percentiles, and linear/logarithmic histograms for the figures —
+without dragging numpy into the hot per-query paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class RunningStats:
+    """Streaming count/mean/min/max/variance (Welford's algorithm)."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel Welford merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self._m2 = other.n, other.mean, other._m2
+            self.min, self.max = other.min, other.max
+            return
+        delta = other.mean - self.mean
+        total = self.n + other.n
+        self.mean += delta * other.n / total
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.n = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.n if self.n > 0 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 for degenerate inputs.
+
+    The paper (§6.4) reports *low* Pearson correlation between telescope
+    intensity and RTT impact; this is the statistic used there.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxy = sxx = syy = 0.0
+    for x, y in zip(xs, ys):
+        dx = x - mx
+        dy = y - my
+        sxy += dx * dy
+        sxx += dx * dx
+        syy += dy * dy
+    if sxx <= 0 or syy <= 0:
+        return 0.0
+    # sqrt each factor separately: sxx * syy can underflow to 0.0 for
+    # near-constant inputs even when both factors are positive.
+    denominator = math.sqrt(sxx) * math.sqrt(syy)
+    if denominator == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, sxy / denominator))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile ``p`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    value = float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+    # Interpolation can drift a few ULPs past the neighbours; clamp so
+    # the result always lies within the sample range.
+    return min(max(value, float(ordered[lo])), float(ordered[hi]))
+
+
+def ratio(part: float, whole: float) -> float:
+    """``part / whole`` that tolerates a zero denominator."""
+    return part / whole if whole else 0.0
+
+
+@dataclass
+class Histogram:
+    """Fixed-width linear histogram over ``[lo, hi)``."""
+
+    lo: float
+    hi: float
+    bins: int
+    counts: List[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError("hi must exceed lo")
+        if self.bins <= 0:
+            raise ValueError("bins must be positive")
+        if not self.counts:
+            self.counts = [0] * self.bins
+
+    def add(self, x: float, weight: int = 1) -> None:
+        if x < self.lo:
+            self.underflow += weight
+            return
+        if x >= self.hi:
+            self.overflow += weight
+            return
+        idx = int((x - self.lo) / (self.hi - self.lo) * self.bins)
+        self.counts[min(idx, self.bins - 1)] += weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_edges(self) -> List[Tuple[float, float]]:
+        width = (self.hi - self.lo) / self.bins
+        return [(self.lo + i * width, self.lo + (i + 1) * width) for i in range(self.bins)]
+
+    def modes(self, top: int = 2) -> List[float]:
+        """Centers of the ``top`` most populated bins (used for the
+        bimodal intensity/duration findings)."""
+        edges = self.bin_edges()
+        ranked = sorted(range(self.bins), key=lambda i: self.counts[i], reverse=True)
+        return [(edges[i][0] + edges[i][1]) / 2 for i in ranked[:top] if self.counts[i] > 0]
+
+
+@dataclass
+class LogHistogram:
+    """Histogram over orders of magnitude (base-10 by default).
+
+    The paper's figures bucket NSSets by hosted-domain magnitude
+    (10^2..10^7) and RTT impact by decade; this mirrors that binning.
+    """
+
+    base: float = 10.0
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, x: float, weight: int = 1) -> None:
+        if x <= 0:
+            raise ValueError("log histogram requires positive values")
+        decade = int(math.floor(math.log(x, self.base)))
+        self.counts[decade] = self.counts.get(decade, 0) + weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self.counts.items())
+
+    def share(self, decade: int) -> float:
+        return ratio(self.counts.get(decade, 0), self.total)
+
+
+def bimodal_modes(values: Iterable[float], bins: int = 40) -> List[float]:
+    """Detect up to two separated modes of a positive-valued sample.
+
+    Bins in log space (attack durations/intensities span decades) and
+    returns the centers of the two best-separated local maxima.
+    """
+    data = [v for v in values if v > 0]
+    if not data:
+        return []
+    lo = math.log10(min(data))
+    hi = math.log10(max(data))
+    if hi - lo < 1e-9:
+        return [data[0]]
+    hist = Histogram(lo, hi + 1e-9, bins)
+    for v in data:
+        hist.add(math.log10(v))
+    # Local maxima in the smoothed histogram.
+    smoothed = _smooth(hist.counts)
+    maxima = [
+        i
+        for i in range(len(smoothed))
+        if smoothed[i] > 0
+        and (i == 0 or smoothed[i] >= smoothed[i - 1])
+        and (i == len(smoothed) - 1 or smoothed[i] >= smoothed[i + 1])
+    ]
+    maxima.sort(key=lambda i: smoothed[i], reverse=True)
+    picked: List[int] = []
+    min_separation = max(3, bins // 5)
+    for i in maxima:
+        if all(abs(i - j) >= min_separation for j in picked):
+            picked.append(i)
+        if len(picked) == 2:
+            break
+    edges = hist.bin_edges()
+    centers = [10 ** ((edges[i][0] + edges[i][1]) / 2) for i in sorted(picked)]
+    return centers
+
+
+def _smooth(counts: Sequence[int]) -> List[float]:
+    out = []
+    for i in range(len(counts)):
+        window = counts[max(0, i - 1): i + 2]
+        out.append(sum(window) / len(window))
+    return out
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample (market concentration of
+    hosting providers; used in world-generation sanity tests)."""
+    data = sorted(v for v in values if v >= 0)
+    n = len(data)
+    total = sum(data)
+    if n == 0 or total == 0:
+        return 0.0
+    cum = 0.0
+    for i, v in enumerate(data, start=1):
+        cum += i * v
+    return (2 * cum) / (n * total) - (n + 1) / n
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Compact summary dict used by reports and tests."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+    return {
+        "n": float(len(values)),
+        "mean": sum(values) / len(values),
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+    }
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (robustness companion to Pearson)."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    return ranks

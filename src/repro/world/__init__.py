@@ -1,0 +1,33 @@
+"""The simulated ground-truth world: providers, domains, load, attacks.
+
+Everything the two measurement systems observe is generated here: a
+seeded Internet with DNS hosting providers spanning the deployment
+spectrum (mega anycast down to self-hosted single-/24 unicast), a Zipf
+domain population delegating to them, and a capacity model translating
+attack load into drop probability, queueing delay, and SERVFAIL.
+"""
+
+from repro.world.config import WorldConfig
+from repro.world.capacity import CapacityModel, LoadBreakdown
+from repro.world.hosting import (
+    DeploymentProfile,
+    HostingProvider,
+    Nameserver,
+    ProfileKind,
+)
+from repro.world.domains import DomainDirectory, DomainRecord
+from repro.world.simulation import World, build_world
+
+__all__ = [
+    "WorldConfig",
+    "CapacityModel",
+    "LoadBreakdown",
+    "DeploymentProfile",
+    "HostingProvider",
+    "Nameserver",
+    "ProfileKind",
+    "DomainDirectory",
+    "DomainRecord",
+    "World",
+    "build_world",
+]

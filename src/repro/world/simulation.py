@@ -1,0 +1,479 @@
+"""World assembly and the live query-time behaviour of nameservers.
+
+:func:`build_world` wires together topology, providers, domains, attack
+schedule, scripted case-study scenarios, the anycast census, and the
+ancillary datasets. The resulting :class:`World` answers the one
+question the measurement platforms ask: *what does nameserver X do with
+a query at time t?* — which it derives from the attack load active at
+that instant via the capacity model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.anycast.census import AnycastCensus
+from repro.attacks.generator import (
+    HotTarget,
+    TargetCatalog,
+    generate_schedule,
+)
+from repro.attacks.model import Attack
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType
+from repro.dns.server import NameserverId, ServerReply
+from repro.net.ip import IPv4Prefix, ip_to_str, parse_ip, slash24_of
+from repro.topology.as2org import AS2Org
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.prefix2as import Prefix2AS
+from repro.util.rng import RngStreams
+from repro.util.timeutil import DAY, Timeline, day_start
+from repro.world.capacity import CapacityModel, LoadBreakdown
+from repro.world.config import WorldConfig
+from repro.world.domains import (
+    DomainDirectory,
+    MisconfigTarget,
+    build_population,
+)
+from repro.world.hosting import (
+    HostingProvider,
+    Nameserver,
+    build_analog_providers,
+    build_filler_providers,
+    build_selfhosted_providers,
+)
+
+# Public-resolver and other misconfiguration-target addresses (Table 5).
+# (address, label, owning analog org or None, answers queries?, weight in
+# the misconfigured-domain pool, paper's attack count for hot-target
+# scheduling.)
+SPECIAL_TARGETS = (
+    ("8.8.4.4", "Google DNS", "Google", True, 0.26, 2803),
+    ("8.8.8.8", "Google DNS", "Google", True, 0.26, 2298),
+    ("1.1.1.1", "CloudFlare DNS", "Cloudflare", True, 0.16, 1118),
+    ("204.79.197.200", "Bing", "Microsoft", True, 0.08, 668),
+    ("13.107.21.200", "Bing", "Microsoft", True, 0.06, 438),
+    ("23.227.38.32", "Cloudflare", "Cloudflare", True, 0.06, 273),
+    ("192.168.12.34", "Private IP", None, False, 0.06, 346),
+    ("198.51.100.77", "Company NAS", None, False, 0.06, 400),
+)
+
+# Paper count for the Unified Layer shared IP (redacted in Table 5).
+UNIFIED_LAYER_HOT_COUNT = 2566
+# Providers offering secondary-NS service (multi-AS NSSets, Figure 12).
+SECONDARY_POOL = ("nic.ru", "GoDaddy", "Hosting-000", "Hosting-001", "Hosting-002")
+
+
+class AttackIndex:
+    """Time-indexed lookup of active attacks per victim IP and /24."""
+
+    def __init__(self, tracked_s24s: Iterable[int]):
+        self._tracked = set(tracked_s24s)
+        self._by_ip: Dict[int, List[Attack]] = {}
+        self._by_s24: Dict[int, List[Attack]] = {}
+        self._ip_starts: Dict[int, List[int]] = {}
+        self._s24_starts: Dict[int, List[int]] = {}
+        self._ip_maxdur: Dict[int, int] = {}
+        self._s24_maxdur: Dict[int, int] = {}
+        #: days (day-start ts) with any impact per ip / per tracked /24,
+        #: padded one day past the impact window for recovery recording.
+        self.ip_days: Set[Tuple[int, int]] = set()
+        self.s24_days: Set[Tuple[int, int]] = set()
+        self._frozen = False
+
+    def add(self, attack: Attack) -> None:
+        if self._frozen:
+            raise RuntimeError("index is frozen")
+        self._by_ip.setdefault(attack.victim_ip, []).append(attack)
+        s24 = attack.victim_slash24
+        if s24 in self._tracked:
+            self._by_s24.setdefault(s24, []).append(attack)
+        window = attack.impact_window
+        first = day_start(window.start)
+        last = day_start(window.end) + DAY  # one-day recovery margin
+        day = first
+        while day <= last:
+            self.ip_days.add((attack.victim_ip, day))
+            if s24 in self._tracked:
+                self.s24_days.add((s24, day))
+            day += DAY
+
+    def freeze(self) -> None:
+        for table, starts, maxdur in (
+                (self._by_ip, self._ip_starts, self._ip_maxdur),
+                (self._by_s24, self._s24_starts, self._s24_maxdur)):
+            for key, attacks in table.items():
+                attacks.sort(key=lambda a: a.impact_window.start)
+                starts[key] = [a.impact_window.start for a in attacks]
+                maxdur[key] = max(a.impact_window.duration for a in attacks)
+        self._frozen = True
+
+    @staticmethod
+    def _active(attacks: List[Attack], starts: List[int], maxdur: int,
+                ts: int) -> List[Attack]:
+        idx = bisect_right(starts, ts)
+        out = []
+        j = idx - 1
+        floor = ts - maxdur
+        while j >= 0 and starts[j] > floor:
+            window = attacks[j].impact_window
+            if window.contains(int(ts)):
+                out.append(attacks[j])
+            j -= 1
+        return out
+
+    def active_on_ip(self, ip: int, ts: float) -> List[Attack]:
+        attacks = self._by_ip.get(ip)
+        if not attacks:
+            return []
+        return self._active(attacks, self._ip_starts[ip],
+                            self._ip_maxdur[ip], int(ts))
+
+    def active_on_s24(self, s24: int, ts: float) -> List[Attack]:
+        attacks = self._by_s24.get(s24)
+        if not attacks:
+            return []
+        return self._active(attacks, self._s24_starts[s24],
+                            self._s24_maxdur[s24], int(ts))
+
+    def attacks_on_ip(self, ip: int) -> List[Attack]:
+        return list(self._by_ip.get(ip, ()))
+
+
+class World:
+    """The assembled ground truth plus query-time behaviour."""
+
+    def __init__(self, config: WorldConfig):
+        self.config = config
+        self.timeline: Timeline = config.timeline
+        self.rngs = RngStreams(config.seed)
+        self.providers: Dict[str, HostingProvider] = {}
+        self.nameservers_by_ip: Dict[int, Nameserver] = {}
+        self.directory = DomainDirectory()
+        self.attacks: List[Attack] = []
+        self.capacity_model = CapacityModel(
+            headroom=config.headroom,
+            app_layer_factor=config.app_layer_factor,
+            other_port_factor=config.other_port_factor,
+            servfail_weight=config.servfail_weight)
+        self.link_capacity: Dict[int, float] = {}
+        self.census: Optional[AnycastCensus] = None
+        self.prefix2as: Optional[Prefix2AS] = None
+        self.as2org: Optional[AS2Org] = None
+        self.open_resolver_ips: Set[int] = set()
+        self.internet = None  # set by build_world
+        self._index: Optional[AttackIndex] = None
+        self._attack_weights: Dict[int, Tuple[float, float, float]] = {}
+        self._vantage_site: Dict[int, Tuple[float, float]] = {}  # ip -> (share, cap)
+        self._rng_transport = self.rngs.stream("transport")
+        #: nsset_id -> day-start timestamps needing 5-minute recording.
+        self._dense_days: Dict[int, FrozenSet[int]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def add_provider(self, provider: HostingProvider) -> None:
+        if provider.name in self.providers:
+            raise ValueError(f"duplicate provider: {provider.name}")
+        self.providers[provider.name] = provider
+        for ns in provider.nameservers:
+            self.register_nameserver(ns)
+
+    def register_nameserver(self, ns: Nameserver) -> None:
+        existing = self.nameservers_by_ip.get(ns.ip)
+        if existing is not None and existing is not ns:
+            raise ValueError(f"duplicate nameserver IP: {ns.nsid}")
+        self.nameservers_by_ip[ns.ip] = ns
+
+    # -- attack machinery --------------------------------------------------------
+
+    def finalize_attacks(self) -> None:
+        """Index the attack schedule; call after all attacks are added."""
+        tracked = {slash24_of(ip) for ip in self.nameservers_by_ip}
+        index = AttackIndex(tracked)
+        for attack in self.attacks:
+            index.add(attack)
+            self._attack_weights[attack.attack_id] = self._weights_of(attack)
+        index.freeze()
+        self._index = index
+        self._build_link_capacities()
+        self._build_vantage_sites()
+        self._build_dense_days()
+
+    def _weights_of(self, attack: Attack) -> Tuple[float, float, float]:
+        """(server-cost fraction, app-layer fraction, mean bits/packet)
+        of an attack's aggregate rate."""
+        total = attack.total_pps
+        server_cost = sum(
+            self.capacity_model.server_cost_pps(v.pps, v.ports, v.proto)
+            for v in attack.vectors)
+        app = sum(v.pps for v in attack.vectors
+                  if self.capacity_model.is_app_layer(v.ports, v.proto))
+        bits = sum(v.pps * v.packet_bytes * 8 for v in attack.vectors)
+        return server_cost / total, app / total, bits / total
+
+    def _build_link_capacities(self) -> None:
+        """Per-/24 uplink bandwidth: the largest uplink of the unicast
+        servers behind it (co-located servers share it)."""
+        best: Dict[int, float] = {}
+        for ns in self.nameservers_by_ip.values():
+            if ns.anycast is not None or ns.is_misconfig_target:
+                continue
+            s24 = ns.nsid.slash24
+            best[s24] = max(best.get(s24, 0.0), ns.link_bps)
+        self.link_capacity = best
+
+    def _build_vantage_sites(self) -> None:
+        region = self.config.vantage_region
+        for ns in self.nameservers_by_ip.values():
+            if ns.anycast is not None:
+                site = ns.anycast.site_for_region(region)
+                self._vantage_site[ns.ip] = (site.catchment_weight,
+                                             site.capacity_pps)
+
+    def _build_dense_days(self) -> None:
+        """Precompute, per NSSet, the days needing 5-minute recording."""
+        assert self._index is not None
+        ip_days: Dict[int, Set[int]] = {}
+        for ip, day in self._index.ip_days:
+            ip_days.setdefault(ip, set()).add(day)
+        s24_days: Dict[int, Set[int]] = {}
+        for s24, day in self._index.s24_days:
+            s24_days.setdefault(s24, set()).add(day)
+        for nsset_id, ips in self.directory.nssets.items():
+            days: Set[int] = set()
+            for ip in ips:
+                days |= ip_days.get(ip, set())
+                days |= s24_days.get(slash24_of(ip), set())
+            if days:
+                self._dense_days[nsset_id] = frozenset(days)
+
+    def dense_days_of(self, nsset_id: int) -> FrozenSet[int]:
+        return self._dense_days.get(nsset_id, frozenset())
+
+    def is_dense_day(self, nsset_id: int, day: int) -> bool:
+        days = self._dense_days.get(nsset_id)
+        return bool(days) and day in days
+
+    # -- load & replies ------------------------------------------------------------
+
+    def load_at(self, ns: Nameserver, ts: float) -> LoadBreakdown:
+        """Utilization breakdown of one nameserver at one instant."""
+        assert self._index is not None, "finalize_attacks() not called"
+        attacks = self._index.active_on_ip(ns.ip, ts)
+        blackout = any(
+            (bw := a.blackout_window()) is not None and bw.contains(int(ts))
+            for a in attacks)
+        server_cost = 0.0
+        app_pps = 0.0
+        direct_bps = 0.0
+        for attack in attacks:
+            pps = attack.effective_pps(int(ts))
+            if pps <= 0.0:
+                continue
+            server_frac, app_frac, bits_pp = self._attack_weights[attack.attack_id]
+            server_cost += pps * server_frac
+            app_pps += pps * app_frac
+            direct_bps += pps * bits_pp
+        if ns.anycast is not None:
+            share, site_cap = self._vantage_site[ns.ip]
+            return LoadBreakdown(
+                server_util=server_cost * share / site_cap,
+                link_util=0.0,
+                app_util=app_pps * share / site_cap,
+                blackout=blackout)
+        s24 = ns.nsid.slash24
+        link_bps = direct_bps
+        for attack in self._index.active_on_s24(s24, ts):
+            if attack.victim_ip != ns.ip:
+                pps = attack.effective_pps(int(ts))
+                if pps > 0.0:
+                    link_bps += pps * self._attack_weights[attack.attack_id][2]
+        link_cap = self.link_capacity.get(s24, float("inf"))
+        return LoadBreakdown(
+            server_util=server_cost / ns.capacity_pps,
+            link_util=link_bps / link_cap,
+            app_util=app_pps / ns.capacity_pps,
+            blackout=blackout)
+
+    def transport(self, ns_ip: int, qname: DomainName, qtype: RRType,
+                  ts: float) -> ServerReply:
+        """Deliver one query datagram; the Transport for resolvers."""
+        ns = self.nameservers_by_ip.get(ns_ip)
+        if ns is None:
+            return ServerReply.dropped()  # lame delegation
+        if ns.is_misconfig_target:
+            if not ns.answers_queries:
+                return ServerReply.dropped()
+            return ServerReply.ok(ns.base_rtt_ms
+                                  + self._rng_transport.expovariate(0.5))
+        load = self.load_at(ns, ts)
+        return self.capacity_model.sample_reply(
+            self._rng_transport, ns.base_rtt_ms, load)
+
+    # -- convenience ------------------------------------------------------------
+
+    def nameserver_ips(self) -> Set[int]:
+        return set(self.nameservers_by_ip)
+
+    def attacks_on_ip(self, ip: int) -> List[Attack]:
+        assert self._index is not None
+        return self._index.attacks_on_ip(ip)
+
+    def provider_of_ip(self, ip: int) -> Optional[HostingProvider]:
+        ns = self.nameservers_by_ip.get(ip)
+        return self.providers.get(ns.provider_name) if ns else None
+
+    def anycast_ips(self) -> Set[int]:
+        return {ip for ip, ns in self.nameservers_by_ip.items()
+                if ns.anycast is not None}
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def build_world(config: Optional[WorldConfig] = None,
+                install_scenarios: bool = True) -> World:
+    """Build the full study world from a configuration.
+
+    Set ``install_scenarios=False`` to get only the statistical
+    background (useful for isolating the longitudinal analyses from the
+    scripted case studies).
+    """
+    config = config or WorldConfig()
+    world = World(config)
+    rng_topo = world.rngs.stream("topology")
+    gen = generate_topology(rng_topo, TopologyConfig())
+    world.internet = gen.internet
+
+    rng_prov = world.rngs.stream("providers")
+    for provider in build_analog_providers(gen, rng_prov):
+        world.add_provider(provider)
+    for provider in build_filler_providers(
+            gen, rng_prov, config.n_filler_providers, config.provider_zipf_alpha):
+        world.add_provider(provider)
+    for provider in build_selfhosted_providers(
+            gen, rng_prov, config.n_selfhosted_providers):
+        world.add_provider(provider)
+
+    misconfig_targets, hot_targets = _install_special_targets(world, gen)
+
+    # The census observes ground-truth anycast deployments (before the
+    # population exists; it only needs the nameserver addresses).
+    world.census = AnycastCensus.observe_world(
+        seed=world.rngs.spawn_seed("census"),
+        anycast_ips=world.anycast_ips(),
+        recall=config.census_recall)
+    world.open_resolver_ips = {
+        parse_ip(ip) for ip, label, _, answers, _, _ in SPECIAL_TARGETS
+        if answers and "DNS" in label}
+
+    rng_pop = world.rngs.stream("population")
+    world.directory = build_population(
+        rng_pop, list(world.providers.values()), config.n_domains,
+        misconfig_targets, config.misconfig_fraction,
+        config.multi_provider_fraction, SECONDARY_POOL,
+        config.transip_third_party_web)
+    _ensure_misconfig_coverage(world, misconfig_targets, rng_pop)
+
+    if install_scenarios:
+        from repro.world import scenarios
+        scenarios.install_scenario_infrastructure(world, gen)
+
+    world.prefix2as = Prefix2AS.from_topology(gen.internet)
+    world.as2org = AS2Org.from_topology(gen.internet)
+
+    rng_attacks = world.rngs.stream("attacks")
+    catalog = _build_target_catalog(world, gen, hot_targets, rng_attacks)
+    world.attacks = generate_schedule(
+        rng_attacks, world.timeline, catalog, config.schedule)
+
+    if install_scenarios:
+        from repro.world import scenarios
+        world.attacks.extend(scenarios.scenario_attacks(world))
+        world.attacks.sort(key=lambda a: (a.window.start, a.victim_ip))
+
+    world.finalize_attacks()
+    return world
+
+
+def _install_special_targets(world: World, gen) -> Tuple[List[MisconfigTarget],
+                                                         List[HotTarget]]:
+    """Announce and register the public-resolver / misconfig addresses."""
+    misconfig: List[MisconfigTarget] = []
+    hot: List[HotTarget] = []
+    for text, label, org_name, answers, weight, paper_count in SPECIAL_TARGETS:
+        ip = parse_ip(text)
+        if org_name is not None:
+            asys = gen.analog_as[org_name]
+            prefix = IPv4Prefix(slash24_of(ip), 24)
+            if world.internet.origin_asn(ip) is None:
+                world.internet.announce(asys, prefix)
+        host = DomainName(f"resolver-{text.replace('.', '-')}.example")
+        world.register_nameserver(Nameserver(
+            nsid=NameserverId(host, ip), provider_name=label,
+            asn=world.internet.origin_asn(ip) or 0,
+            capacity_pps=1e9, base_rtt_ms=6.0, anycast=None,
+            is_misconfig_target=True, answers_queries=answers))
+        misconfig.append(MisconfigTarget(ip=ip, label=label.replace(" ", "-").lower(),
+                                         weight=weight))
+        hot.append(HotTarget(ip=ip, n_attacks=paper_count, label=label))
+    # The Unified Layer shared IP: a real authoritative that also hosts
+    # web content, drawing frequent (ineffective) attacks.
+    ul = world.providers["Unified Layer"]
+    hot.append(HotTarget(ip=ul.nameservers[0].ip,
+                         n_attacks=UNIFIED_LAYER_HOT_COUNT,
+                         label="Unified Layer"))
+    return misconfig, hot
+
+
+def _ensure_misconfig_coverage(world: World, targets: List[MisconfigTarget],
+                               rng: random.Random) -> None:
+    """Guarantee at least one misconfigured domain per special target.
+
+    The Table 4/5 phenomenon (public resolvers ranking among attacked
+    "nameservers") only exists if the addresses appear in NS records;
+    at small population scales the random misconfiguration draw can
+    miss a target entirely.
+    """
+    from repro.dns.zone import Delegation
+
+    providers = list(world.providers.values())
+    for target in targets:
+        if world.directory.domains_of_ip(target.ip):
+            continue
+        name = DomainName(
+            f"misconfigured-{target.label}-{ip_to_str(target.ip).replace('.', '-')}.com")
+        delegation = Delegation.build(
+            name, {DomainName(f"ns.{target.label}.example"): (target.ip,)})
+        world.directory.add(name, rng.choice(providers), delegation,
+                            misconfig=True)
+
+
+def _build_target_catalog(world: World, gen, hot_targets: List[HotTarget],
+                          rng: random.Random) -> TargetCatalog:
+    special = {h.ip for h in hot_targets}
+    weights: Dict[int, float] = {}
+    for ip in world.directory.nameserver_ips():
+        if ip in special:
+            continue
+        if ip not in world.nameservers_by_ip:
+            continue
+        count = world.directory.domain_count_of_ip(ip)
+        weights[ip] = math.sqrt(count) + 1.0
+    other_pool: List[int] = []
+    filler_prefixes = [p for asys in gen.filler_as for p in asys.prefixes]
+    for _ in range(8000):
+        prefix = rng.choice(filler_prefixes)
+        other_pool.append(prefix.random_ip(rng))
+    ns_groups: Dict[int, Tuple[int, ...]] = {}
+    for provider in world.providers.values():
+        group = provider.ns_ips
+        for ip in group:
+            ns_groups[ip] = group
+    return TargetCatalog(ns_ip_weights=weights, other_ips=other_pool,
+                         hot_targets=hot_targets, ns_groups=ns_groups)

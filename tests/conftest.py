@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped worlds and studies.
+
+Building a world / running a study is the expensive part of many tests;
+session scope keeps the suite fast while letting dozens of tests assert
+against the same deterministic run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorldConfig, build_world, run_study
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> WorldConfig:
+    return WorldConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_world(tiny_config):
+    return build_world(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_world):
+    return run_study(world=tiny_world)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="session")
+def small_study(small_config):
+    return run_study(small_config)
+
+
+@pytest.fixture()
+def rng():
+    import random
+
+    return random.Random(1234)

@@ -1,0 +1,135 @@
+"""Tests for the reactive measurement platform (§4.3.1)."""
+
+import pytest
+
+from repro.core.reactive import ReactivePlatform, ReactiveStore, ReactiveProbe
+from repro.util.timeutil import DAY, FIVE_MINUTES, HOUR, MINUTE, Window, parse_ts
+
+
+class TestReactiveStore:
+    def _store(self):
+        store = ReactiveStore()
+        # Bucket 0: one answered, one dead. Bucket 300: all dead.
+        store.add(ReactiveProbe(10, 1, 100, True, 20.0))
+        store.add(ReactiveProbe(20, 1, 101, False, None))
+        store.add(ReactiveProbe(310, 1, 100, False, None))
+        store.add(ReactiveProbe(320, 1, 101, False, None))
+        store.add(ReactiveProbe(610, 1, 100, True, 25.0))
+        return store
+
+    def test_availability_series(self):
+        series = self._store().availability_series(1)
+        assert [(ts, share) for ts, share, _ in series] == \
+            [(0, 0.5), (300, 0.0), (600, 1.0)]
+
+    def test_unresponsive_share(self):
+        store = self._store()
+        assert store.unresponsive_share(1, Window(0, 900)) == pytest.approx(1 / 3)
+
+    def test_first_responsive_after(self):
+        store = self._store()
+        assert store.first_responsive_after(1, 100) == 600
+        assert store.first_responsive_after(1, 700) is None
+
+    def test_unknown_domain(self):
+        store = ReactiveStore()
+        assert store.availability_series(42) == []
+        assert store.unresponsive_share(42, Window(0, 100)) == 0.0
+
+
+class TestReactivePlatform:
+    @pytest.fixture(scope="class")
+    def platform_run(self, tiny_world, tiny_study):
+        platform = ReactivePlatform(tiny_world)
+        window = Window(parse_ts("2021-03-01 18:00"), parse_ts("2021-03-02 04:00"))
+        store = platform.run(tiny_study.feed, window=window)
+        return platform, store
+
+    def test_campaigns_triggered(self, platform_run):
+        platform, _ = platform_run
+        assert platform.campaigns
+        # The TransIP March campaign attacks three nameservers.
+        transip_victims = {c.victim_ip for c in platform.campaigns}
+        assert len(transip_victims) >= 3
+
+    def test_trigger_delay_at_most_ten_minutes(self, platform_run):
+        platform, _ = platform_run
+        for campaign in platform.campaigns:
+            assert campaign.triggered_at - campaign.attack.start <= 10 * MINUTE
+
+    def test_probes_cover_attack_and_tail(self, platform_run):
+        platform, store = platform_run
+        campaign = platform.campaigns[0]
+        ts_values = [p.ts for p in store.probes]
+        assert min(ts_values) >= campaign.triggered_at
+        assert max(ts_values) >= campaign.attack.end + DAY - 2 * FIVE_MINUTES
+
+    def test_probe_rate_bounded(self, platform_run):
+        # Ethics bound: at most 50 probes per 5-minute window per
+        # campaign domain set (one domain may be probed by several
+        # campaigns, so count per campaign's victim).
+        platform, store = platform_run
+        per_bucket = {}
+        for probe in store.probes:
+            key = (probe.domain_id, probe.ts // FIVE_MINUTES)
+            per_bucket[key] = per_bucket.get(key, 0) + 1
+        # Each domain probed at most once per window per campaign x its
+        # nameserver count (3 for TransIP) x campaigns covering it (3).
+        assert max(per_bucket.values()) <= 50
+
+    def test_probes_spread_within_window(self, platform_run):
+        platform, store = platform_run
+        offsets = {p.ts % FIVE_MINUTES for p in store.probes}
+        assert len(offsets) > 1  # not all at the window boundary
+
+    def test_probes_hit_every_nameserver(self, platform_run, tiny_world):
+        platform, store = platform_run
+        domain_id = store.probes[0].domain_id
+        record = tiny_world.directory[domain_id]
+        probed_ns = {p.ns_ip for p in store.domain_probes(domain_id)}
+        assert probed_ns == set(record.delegation.nameserver_ips)
+
+    def test_failures_observed_during_attack(self, platform_run):
+        # The March TransIP attack leaves many probes unanswered.
+        _, store = platform_run
+        during = [p for p in store.probes
+                  if parse_ts("2021-03-01 20:00") <= p.ts
+                  <= parse_ts("2021-03-02 00:00")]
+        assert during
+        failed = sum(1 for p in during if not p.answered)
+        assert failed / len(during) > 0.3
+
+    def test_recovery_after_attack(self, platform_run):
+        _, store = platform_run
+        after = [p for p in store.probes
+                 if p.ts >= parse_ts("2021-03-02 06:00")]
+        assert after
+        answered = sum(1 for p in after if p.answered)
+        assert answered / len(after) > 0.9
+
+    def test_max_campaigns_bound(self, tiny_world, tiny_study):
+        platform = ReactivePlatform(tiny_world)
+        platform.run(tiny_study.feed,
+                     window=Window(tiny_world.timeline.start,
+                                   tiny_world.timeline.end),
+                     max_campaigns=2)
+        assert len(platform.campaigns) <= 2
+
+    def test_empty_window_no_probes(self, tiny_world, tiny_study):
+        platform = ReactivePlatform(tiny_world)
+        store = platform.run(tiny_study.feed,
+                             window=Window(0, 100))
+        assert len(store) == 0
+
+    def test_probe_domain_direct(self, tiny_world):
+        platform = ReactivePlatform(tiny_world)
+        record = tiny_world.directory.get_by_name("mil.ru")
+        probes = platform.probe_domain(record.domain_id,
+                                       tiny_world.timeline.start)
+        assert len(probes) == 3  # every nameserver probed
+
+    def test_validation(self, tiny_world):
+        with pytest.raises(ValueError):
+            ReactivePlatform(tiny_world, probes_per_window=0)
+        with pytest.raises(ValueError):
+            ReactivePlatform(tiny_world, trigger_delay_s=-1)

@@ -1,0 +1,91 @@
+"""Tests for the TTL cache."""
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType, RRset
+
+
+def _rrset(name="example.com", ttl=300):
+    rrset = RRset(DomainName(name), RRType.A)
+    rrset.add("192.0.2.1", ttl=ttl)
+    return rrset
+
+
+class TestDnsCache:
+    def test_miss_then_hit(self):
+        cache = DnsCache()
+        assert cache.get("example.com", RRType.A, now=0) is None
+        cache.put(_rrset(), now=0)
+        assert cache.get("example.com", RRType.A, now=100) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_expiry(self):
+        cache = DnsCache()
+        cache.put(_rrset(ttl=300), now=0)
+        assert cache.get("example.com", RRType.A, now=299) is not None
+        assert cache.get("example.com", RRType.A, now=300) is None
+        assert cache.expirations == 1
+
+    def test_remaining_ttl(self):
+        cache = DnsCache()
+        cache.put(_rrset(ttl=300), now=100)
+        assert cache.remaining_ttl("example.com", RRType.A, now=150) == 250
+        assert cache.remaining_ttl("example.com", RRType.A, now=500) == 0
+
+    def test_zero_ttl_not_cached(self):
+        cache = DnsCache()
+        cache.put(_rrset(), now=0, ttl=0)
+        assert len(cache) == 0
+
+    def test_empty_rrset_not_cached(self):
+        cache = DnsCache()
+        cache.put(RRset(DomainName("example.com"), RRType.A), now=0)
+        assert len(cache) == 0
+
+    def test_eviction_at_capacity(self):
+        cache = DnsCache(max_entries=2)
+        cache.put(_rrset("a.com"), now=0)
+        cache.put(_rrset("b.com"), now=1)
+        cache.put(_rrset("c.com"), now=2)
+        assert len(cache) == 2
+        # Oldest insertion (a.com) evicted.
+        assert cache.get("a.com", RRType.A, now=3) is None
+        assert cache.get("c.com", RRType.A, now=3) is not None
+
+    def test_overwrite_same_key_no_evict(self):
+        cache = DnsCache(max_entries=1)
+        cache.put(_rrset("a.com"), now=0)
+        cache.put(_rrset("a.com"), now=5)
+        assert len(cache) == 1
+        assert cache.remaining_ttl("a.com", RRType.A, now=5) == 300
+
+    def test_flush(self):
+        cache = DnsCache()
+        cache.put(_rrset(), now=0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_purge_expired(self):
+        cache = DnsCache()
+        cache.put(_rrset("a.com", ttl=10), now=0)
+        cache.put(_rrset("b.com", ttl=1000), now=0)
+        assert cache.purge_expired(now=500) == 1
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.put(_rrset(), now=0)
+        cache.get("example.com", RRType.A, now=1)
+        cache.get("other.com", RRType.A, now=1)
+        assert cache.hit_rate == 0.5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DnsCache(max_entries=0)
+
+    def test_key_includes_type(self):
+        cache = DnsCache()
+        cache.put(_rrset(), now=0)
+        assert cache.get("example.com", RRType.NS, now=0) is None

@@ -1,0 +1,132 @@
+"""Tests for EDNS0 (OPT), RRSIG and DNSKEY wire handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.message import Edns, Message, WireError, decode_message, encode_message
+from repro.dns.name import DomainName
+from repro.dns.rr import DnskeyData, RRType, ResourceRecord, RrsigData
+
+
+def rrsig(signer="example.com", signature=b"s" * 64):
+    return RrsigData(type_covered=int(RRType.A), algorithm=8, labels=2,
+                     original_ttl=300, expiration=2_000_000_000,
+                     inception=1_600_000_000, key_tag=12345,
+                     signer=signer, signature=signature)
+
+
+class TestEdns:
+    def test_defaults(self):
+        edns = Edns()
+        assert edns.udp_payload_size == 1232
+        assert not edns.do
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Edns(udp_payload_size=100)
+        with pytest.raises(ValueError):
+            Edns(extended_rcode=300)
+
+    def test_ttl_field_do_bit(self):
+        assert Edns(do=True).ttl_field() & (1 << 15)
+        assert not Edns(do=False).ttl_field() & (1 << 15)
+
+    @given(st.integers(min_value=512, max_value=0xFFFF), st.booleans(),
+           st.integers(min_value=0, max_value=255))
+    def test_wire_fields_roundtrip(self, size, do, version):
+        edns = Edns(udp_payload_size=size, do=do, version=version)
+        back = Edns.from_wire_fields(size, edns.ttl_field(), b"")
+        assert back == edns
+
+    def test_message_roundtrip(self):
+        msg = Message.query("example.com", RRType.A, msg_id=3)
+        msg.edns = Edns(udp_payload_size=4096, do=True, options=b"\x01\x02")
+        decoded = decode_message(encode_message(msg))
+        assert decoded.edns == msg.edns
+        assert decoded.additionals == []  # OPT is not a visible additional
+
+    def test_max_udp_payload(self):
+        msg = Message.query("example.com", RRType.A)
+        assert msg.max_udp_payload == 512
+        msg.edns = Edns(udp_payload_size=1232)
+        assert msg.max_udp_payload == 1232
+
+    def test_duplicate_opt_rejected(self):
+        msg = Message.query("example.com", RRType.A, msg_id=1)
+        msg.edns = Edns()
+        wire = bytearray(encode_message(msg))
+        # Bump ARCOUNT and append a second OPT record verbatim.
+        opt = wire[-11:]
+        wire[10:12] = (2).to_bytes(2, "big")
+        wire += opt
+        with pytest.raises(WireError):
+            decode_message(bytes(wire))
+
+    def test_opt_with_nonroot_owner_rejected(self):
+        msg = Message.query("example.com", RRType.A, msg_id=1)
+        msg.edns = Edns()
+        wire = bytearray(encode_message(msg))
+        # The OPT owner byte is the 11th-from-last octet (root label).
+        # Overwrite it with a bogus 1-octet label marker to corrupt it.
+        wire[-11] = 1
+        with pytest.raises(WireError):
+            decode_message(bytes(wire))
+
+
+class TestRrsig:
+    def test_requires_signature(self):
+        with pytest.raises(ValueError):
+            rrsig(signature=b"")
+
+    def test_roundtrip(self):
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.RRSIG,
+                                          rrsig()))
+        decoded = decode_message(encode_message(msg))
+        got = decoded.answers[0].rdata
+        assert got == rrsig()
+
+    def test_signer_name_preserved(self):
+        data = rrsig(signer="keys.example.com")
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.RRSIG, data))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.answers[0].rdata.signer == \
+            DomainName("keys.example.com")
+
+    def test_rdata_text(self):
+        rr = ResourceRecord("example.com", RRType.RRSIG, rrsig())
+        text = rr.rdata_text()
+        assert "A" in text and "12345" in text
+
+    def test_type_enforced(self):
+        with pytest.raises(TypeError):
+            ResourceRecord("example.com", RRType.RRSIG, b"junk")
+
+
+class TestDnskey:
+    def test_flags(self):
+        zsk = DnskeyData(DnskeyData.ZONE_KEY_FLAG, 3, 8, b"k" * 32)
+        ksk = DnskeyData(DnskeyData.ZONE_KEY_FLAG | DnskeyData.SEP_FLAG,
+                         3, 8, b"k" * 32)
+        assert zsk.is_zone_key and not zsk.is_sep
+        assert ksk.is_sep
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            DnskeyData(0, 3, 8, b"")
+
+    def test_roundtrip(self):
+        key = DnskeyData(0x0101, 3, 13, bytes(range(64)))
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.DNSKEY, key))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.answers[0].rdata == key
+
+    def test_rdata_text_distinguishes_kinds(self):
+        ksk = ResourceRecord("example.com", RRType.DNSKEY,
+                             DnskeyData(0x0101, 3, 8, b"k"))
+        zsk = ResourceRecord("example.com", RRType.DNSKEY,
+                             DnskeyData(0x0100, 3, 8, b"k"))
+        assert "KSK" in ksk.rdata_text()
+        assert "ZSK" in zsk.rdata_text()

@@ -1,0 +1,126 @@
+"""Tests for the iterative resolver over an in-memory DNS hierarchy."""
+
+import pytest
+
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.cache import DnsCache
+from repro.dns.iterative import DnsUniverse, IterativeResolver
+from repro.dns.name import DomainName
+from repro.dns.rcode import ResponseStatus
+from repro.dns.rr import RRType
+from repro.dns.zone import Zone
+from repro.net.ip import parse_ip
+
+ROOT_IP = parse_ip("198.41.0.4")
+COM_IP = parse_ip("192.5.6.30")
+EXAMPLE_IP = parse_ip("203.0.113.53")
+
+
+@pytest.fixture()
+def universe():
+    # Root zone: delegates com. to the com server.
+    root_zone = Zone("")
+    root_zone.add_record("com", RRType.NS, "a.gtld-servers.net")
+    root_zone.add_record("a.gtld-servers.net", RRType.A, COM_IP)
+    root = AuthoritativeServer()
+    root.add_zone(root_zone)
+
+    # com zone: delegates example.com to its nameserver.
+    com_zone = Zone("com")
+    com_zone.add_record("example.com", RRType.NS, "ns1.example.com")
+    com_zone.add_record("ns1.example.com", RRType.A, EXAMPLE_IP)
+    com = AuthoritativeServer()
+    com.add_zone(com_zone)
+
+    # example.com zone.
+    example_zone = Zone("example.com")
+    example_zone.set_ns(["ns1.example.com"])
+    example_zone.add_record("example.com", RRType.A, "192.0.2.80")
+    example_zone.add_record("www.example.com", RRType.CNAME, "example.com")
+    for i in range(60):  # bulk name to force UDP truncation
+        example_zone.add_record("bulk.example.com", RRType.A, 0x0A000000 + i)
+    example = AuthoritativeServer()
+    example.add_zone(example_zone)
+
+    universe = DnsUniverse()
+    universe.place_server(ROOT_IP, root, is_root=True)
+    universe.place_server(COM_IP, com)
+    universe.place_server(EXAMPLE_IP, example)
+    return universe
+
+
+class TestIterativeResolution:
+    def test_walks_from_root(self, universe):
+        resolver = IterativeResolver(universe)
+        result = resolver.resolve("example.com")
+        assert result.status is ResponseStatus.OK
+        assert parse_ip("192.0.2.80") in result.rdatas()
+        # root -> com -> example.com
+        assert result.trace.referrals_followed == 2
+        assert result.trace.servers_contacted == [ROOT_IP, COM_IP, EXAMPLE_IP]
+
+    def test_cname_restart(self, universe):
+        resolver = IterativeResolver(universe)
+        result = resolver.resolve("www.example.com")
+        assert result.status is ResponseStatus.OK
+        types = {rr.rtype for rr in result.answers}
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_nxdomain(self, universe):
+        resolver = IterativeResolver(universe)
+        result = resolver.resolve("missing.example.com")
+        assert result.status is ResponseStatus.NXDOMAIN
+
+    def test_unknown_tld_nxdomain(self, universe):
+        resolver = IterativeResolver(universe)
+        assert resolver.resolve("anything.zz").status is ResponseStatus.NXDOMAIN
+
+    def test_tcp_fallback_on_truncation(self, universe):
+        # Without EDNS the 60-record answer exceeds 512 bytes.
+        resolver = IterativeResolver(universe, use_edns=False)
+        result = resolver.resolve("bulk.example.com")
+        assert result.status is ResponseStatus.OK
+        assert len(result.answers) == 60
+        assert result.trace.tcp_retries == 1
+
+    def test_edns_avoids_tcp(self, universe):
+        resolver = IterativeResolver(universe, udp_payload_size=4096)
+        result = resolver.resolve("bulk.example.com")
+        assert result.status is ResponseStatus.OK
+        assert result.trace.tcp_retries == 0
+
+    def test_dead_root_times_out(self, universe):
+        broken = DnsUniverse()
+        broken.root_hints.append(parse_ip("198.51.100.1"))
+        resolver = IterativeResolver(broken)
+        assert resolver.resolve("example.com").status is ResponseStatus.TIMEOUT
+
+    def test_requires_root_hints(self):
+        with pytest.raises(ValueError):
+            IterativeResolver(DnsUniverse())
+
+    def test_cache_short_circuits(self, universe):
+        cache = DnsCache()
+        resolver = IterativeResolver(universe, cache=cache)
+        first = resolver.resolve("example.com", now=0)
+        assert first.trace.queries_sent > 0
+        second = resolver.resolve("example.com", now=10)
+        assert second.status is ResponseStatus.OK
+        assert second.trace.queries_sent == 0
+
+    def test_cache_expires(self, universe):
+        cache = DnsCache()
+        resolver = IterativeResolver(universe, cache=cache)
+        resolver.resolve("example.com", now=0)
+        later = resolver.resolve("example.com", now=100_000)
+        assert later.trace.queries_sent > 0
+
+    def test_referral_bound(self, universe):
+        resolver = IterativeResolver(universe, max_referrals=1)
+        result = resolver.resolve("example.com")
+        assert result.status is ResponseStatus.SERVFAIL
+
+    def test_universe_accessors(self, universe):
+        assert len(universe) == 3
+        assert universe.server_at(ROOT_IP) is not None
+        assert universe.server_at("8.8.8.8") is None

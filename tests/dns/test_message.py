@@ -1,0 +1,193 @@
+"""Wire-codec tests including hypothesis roundtrips and malformed input."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import (
+    Flags,
+    Message,
+    Opcode,
+    Question,
+    WireError,
+    decode_message,
+    encode_message,
+)
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode
+from repro.dns.rr import RRType, ResourceRecord, SoaData
+
+LABEL = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+NAME = st.lists(LABEL, min_size=1, max_size=4).map(
+    lambda labels: DomainName(tuple(labels)))
+IP = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+def a_record(name, ip, ttl=300):
+    return ResourceRecord(name, RRType.A, ip, ttl)
+
+
+class TestFlags:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+           st.booleans(), st.sampled_from(list(Rcode)))
+    def test_roundtrip(self, qr, aa, tc, rd, ra, rcode):
+        flags = Flags(qr=qr, aa=aa, tc=tc, rd=rd, ra=ra, rcode=rcode)
+        assert Flags.from_int(flags.to_int()) == flags
+
+    def test_known_value(self):
+        # Standard query with RD: 0x0100.
+        assert Flags(rd=True).to_int() == 0x0100
+
+
+class TestHeaderValidation:
+    def test_rejects_bad_id(self):
+        with pytest.raises(ValueError):
+            Message(msg_id=70000)
+
+
+class TestEncodeDecode:
+    def test_query_roundtrip(self):
+        msg = Message.query("www.example.com", RRType.NS, msg_id=1234)
+        decoded = decode_message(encode_message(msg))
+        assert decoded.msg_id == 1234
+        assert decoded.questions == [Question(DomainName("www.example.com"),
+                                              RRType.NS)]
+        assert not decoded.flags.qr
+
+    def test_response_roundtrip_with_answers(self):
+        query = Message.query("example.com", RRType.A, msg_id=7)
+        response = query.response()
+        response.answers.append(a_record(DomainName("example.com"), 0x01020304))
+        decoded = decode_message(encode_message(response))
+        assert decoded.flags.qr and decoded.flags.aa
+        assert decoded.answers[0].rdata == 0x01020304
+
+    def test_ns_rdata_roundtrip(self):
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.NS,
+                                          "ns1.example.com"))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.answers[0].rdata == DomainName("ns1.example.com")
+
+    def test_soa_roundtrip(self):
+        soa = SoaData(DomainName("ns1.example.com"),
+                      DomainName("hostmaster.example.com"),
+                      serial=2022, refresh=1, retry=2, expire=3, minimum=4)
+        msg = Message(msg_id=1)
+        msg.authorities.append(ResourceRecord("example.com", RRType.SOA, soa))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.authorities[0].rdata == soa
+
+    def test_txt_roundtrip(self):
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.TXT,
+                                          b"x" * 300))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.answers[0].rdata == b"x" * 300
+
+    def test_aaaa_roundtrip(self):
+        msg = Message(msg_id=1)
+        msg.answers.append(ResourceRecord("example.com", RRType.AAAA,
+                                          bytes(range(16))))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.answers[0].rdata == bytes(range(16))
+
+    def test_compression_shrinks_repeated_names(self):
+        msg = Message(msg_id=1)
+        for i in range(5):
+            msg.answers.append(a_record(DomainName("host.example.com"), i))
+        wire = encode_message(msg)
+        # Without compression each name costs 17 bytes; with pointers the
+        # repeats cost 2. 5 names -> well under 5*17 + overhead.
+        uncompressed_names = 5 * 17
+        assert len(wire) < 12 + uncompressed_names + 5 * 14
+
+    def test_compression_across_sections(self):
+        msg = Message.query("example.com", RRType.A, msg_id=1)
+        response = msg.response()
+        response.answers.append(a_record(DomainName("example.com"), 1))
+        decoded = decode_message(encode_message(response))
+        assert decoded.answers[0].name == DomainName("example.com")
+
+    def test_root_name(self):
+        msg = Message(msg_id=1, questions=[Question(DomainName(""), RRType.NS)])
+        decoded = decode_message(encode_message(msg))
+        assert decoded.questions[0].qname.is_root
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 0xFFFF),
+           st.lists(st.tuples(NAME, IP), max_size=6),
+           st.lists(st.tuples(NAME, IP), max_size=3))
+    def test_property_roundtrip(self, msg_id, answers, additionals):
+        msg = Message(msg_id=msg_id, flags=Flags(qr=True))
+        msg.questions.append(Question(DomainName("q.example.com"), RRType.NS))
+        for name, ip in answers:
+            msg.answers.append(a_record(name, ip))
+        for name, ip in additionals:
+            msg.additionals.append(a_record(name, ip))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.msg_id == msg.msg_id
+        assert decoded.questions == msg.questions
+        assert [(r.name, r.rdata) for r in decoded.answers] == \
+            [(r.name, r.rdata) for r in msg.answers]
+        assert [(r.name, r.rdata) for r in decoded.additionals] == \
+            [(r.name, r.rdata) for r in msg.additionals]
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(WireError):
+            decode_message(b"\x00\x01")
+
+    def test_truncated_question(self):
+        msg = Message.query("example.com", RRType.A, msg_id=1)
+        wire = encode_message(msg)
+        with pytest.raises(WireError):
+            decode_message(wire[:-3])
+
+    def test_trailing_bytes(self):
+        wire = encode_message(Message.query("example.com", RRType.A, msg_id=1))
+        with pytest.raises(WireError):
+            decode_message(wire + b"\x00")
+
+    def test_pointer_loop(self):
+        # Header + a name that points at itself.
+        header = (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        evil = header + b"\xc0\x0c" + b"\x00\x01\x00\x01"
+        with pytest.raises(WireError):
+            decode_message(evil)
+
+    def test_forward_pointer_rejected(self):
+        header = (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        evil = header + b"\xc0\x20" + b"\x00\x01\x00\x01"
+        with pytest.raises(WireError):
+            decode_message(evil)
+
+    def test_bad_label_length_bits(self):
+        header = (1).to_bytes(2, "big") + b"\x00\x00" + b"\x00\x01" + b"\x00" * 6
+        evil = header + b"\x80abc\x00" + b"\x00\x01\x00\x01"
+        with pytest.raises(WireError):
+            decode_message(evil)
+
+    @given(st.binary(max_size=64))
+    def test_fuzz_never_crashes_unexpectedly(self, blob):
+        try:
+            decode_message(blob)
+        except WireError:
+            pass  # the only acceptable failure mode
+
+
+class TestMessageHelpers:
+    def test_query_defaults_non_recursive(self):
+        # OpenINTEL sends explicit (non-recursive) NS queries.
+        assert not Message.query("example.com", RRType.NS).flags.rd
+
+    def test_response_echoes_question(self):
+        query = Message.query("example.com", RRType.NS, msg_id=9)
+        response = query.response(rcode=Rcode.SERVFAIL)
+        assert response.msg_id == 9
+        assert response.flags.rcode == Rcode.SERVFAIL
+        assert response.questions == query.questions
+
+    def test_to_wire_alias(self):
+        msg = Message.query("example.com", RRType.A, msg_id=5)
+        assert msg.to_wire() == encode_message(msg)

@@ -1,0 +1,146 @@
+"""Tests for the master-file (zone file) codec."""
+
+import io
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.rr import RRType
+from repro.dns.zone import Zone
+from repro.dns.zonefile import ZoneFileError, dump_zone_file, parse_zone_file
+from repro.net.ip import parse_ip
+
+SAMPLE = """\
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1.example.com. hostmaster.example.com. (
+        2022010101 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        3600 )     ; minimum
+@       IN NS  ns1.example.com.
+@       IN NS  ns2
+ns1     IN A   192.0.2.53
+ns2 600 IN A   192.0.2.54
+www     IN CNAME @
+        IN TXT "v=spf1 -all"
+mail    IN AAAA 2001:db8::25
+"""
+
+
+@pytest.fixture()
+def zone():
+    return parse_zone_file(io.StringIO(SAMPLE))
+
+
+class TestParsing:
+    def test_apex_and_soa(self, zone):
+        assert zone.apex == DomainName("example.com")
+        assert zone.soa.serial == 2022010101
+        assert zone.soa.mname == DomainName("ns1.example.com")
+        assert zone.soa.minimum == 3600
+
+    def test_relative_and_absolute_names(self, zone):
+        assert zone.get_rrset("ns1.example.com", RRType.A) is not None
+        ns = zone.get_rrset("example.com", RRType.NS)
+        hosts = {str(rr.rdata) for rr in ns}
+        assert hosts == {"ns1.example.com", "ns2.example.com"}
+
+    def test_explicit_ttl(self, zone):
+        rrset = zone.get_rrset("ns2.example.com", RRType.A)
+        assert rrset.records[0].ttl == 600
+
+    def test_default_ttl_applies(self, zone):
+        rrset = zone.get_rrset("ns1.example.com", RRType.A)
+        assert rrset.records[0].ttl == 3600
+
+    def test_at_sign_is_origin(self, zone):
+        cname = zone.get_rrset("www.example.com", RRType.CNAME)
+        assert cname.records[0].rdata == DomainName("example.com")
+
+    def test_blank_owner_continuation(self, zone):
+        txt = zone.get_rrset("www.example.com", RRType.TXT)
+        assert txt.records[0].rdata == b"v=spf1 -all"
+
+    def test_aaaa(self, zone):
+        rrset = zone.get_rrset("mail.example.com", RRType.AAAA)
+        assert rrset.records[0].rdata == (
+            b"\x20\x01\x0d\xb8" + b"\x00" * 10 + b"\x00\x25")
+
+    def test_comments_stripped(self, zone):
+        # The serial's inline comment did not corrupt parsing.
+        assert zone.soa.refresh == 7200
+
+    def test_origin_argument(self):
+        text = "@ IN SOA ns1 root 1 2 3 4 5\n@ IN A 192.0.2.1\n"
+        zone = parse_zone_file(io.StringIO(text), origin="test.org")
+        assert zone.apex == DomainName("test.org")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,message", [
+        ("$ORIGIN e.com.\n@ IN A 192.0.2.1\n", "no SOA"),
+        ("$ORIGIN example.com.\n@ IN SOA ns1 root 1 2 3 4\n", "5 integers"),
+        ("$ORIGIN e.com.\n@ IN SOA ns1 root 1 2 3 4 5\nx IN FOO bar\n",
+         "unsupported type"),
+        ("$BOGUS x\n", "unsupported directive"),
+        ("$ORIGIN e.com.\n@ IN SOA ns1 root 1 2 3 4 5 (\n", "unbalanced"),
+        ("  IN A 192.0.2.1\n", "continuation without"),
+        ("www IN A 1.2.3.4\n", "without $ORIGIN"),
+    ])
+    def test_rejects(self, text, message):
+        with pytest.raises(ZoneFileError) as excinfo:
+            parse_zone_file(io.StringIO(text))
+        assert message in str(excinfo.value)
+
+    def test_ttl_directive_validation(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file(io.StringIO("$TTL abc\n"))
+
+    def test_bad_ipv6(self):
+        text = ("$ORIGIN e.com.\n@ IN SOA ns1 root 1 2 3 4 5\n"
+                "x IN AAAA zz::1::2\n")
+        with pytest.raises(ZoneFileError):
+            parse_zone_file(io.StringIO(text))
+
+
+class TestRoundtrip:
+    def test_dump_parse_roundtrip(self, zone):
+        buf = io.StringIO()
+        dump_zone_file(zone, buf)
+        buf.seek(0)
+        again = parse_zone_file(buf)
+        assert again.apex == zone.apex
+        assert again.soa.serial == zone.soa.serial
+        for name in zone.names():
+            for rtype in (RRType.A, RRType.NS, RRType.CNAME, RRType.TXT,
+                          RRType.AAAA):
+                original = zone.get_rrset(name, rtype)
+                copied = again.get_rrset(name, rtype)
+                if original is None:
+                    assert copied is None
+                else:
+                    assert copied is not None
+                    assert set(original.rdatas()) == set(copied.rdatas())
+
+    def test_generated_zone_dumps(self):
+        zone = Zone("generated.test")
+        zone.set_ns(["ns1.generated.test"])
+        zone.add_record("ns1.generated.test", RRType.A, "203.0.113.1")
+        buf = io.StringIO()
+        dump_zone_file(zone, buf)
+        text = buf.getvalue()
+        assert "$ORIGIN generated.test." in text
+        assert "203.0.113.1" in text
+
+    def test_roundtrip_feeds_authoritative_server(self, zone):
+        # A parsed zone plugs straight into the server engine.
+        from repro.dns.authoritative import AuthoritativeServer
+        from repro.dns.message import Message
+
+        server = AuthoritativeServer()
+        server.add_zone(zone)
+        response = server.handle_query(
+            Message.query("ns1.example.com", RRType.A, msg_id=1))
+        assert response.answers[0].rdata == parse_ip("192.0.2.53")

@@ -1,0 +1,100 @@
+"""End-to-end pipeline and configuration tests."""
+
+import pytest
+
+from repro import Study, WorldConfig, build_world, run_study
+from repro.world.config import PAPER_TOTAL_ATTACKS
+
+
+class TestWorldConfig:
+    def test_defaults_cover_paper_window(self):
+        config = WorldConfig()
+        assert len(list(config.timeline.months())) == 17
+
+    def test_paper_scale(self):
+        config = WorldConfig(attacks_per_month=2000)
+        expected = 2000 * 17 / PAPER_TOTAL_ATTACKS
+        assert config.paper_scale() == pytest.approx(expected)
+
+    def test_schedule_derived(self):
+        config = WorldConfig()
+        assert config.schedule.attacks_per_month == config.attacks_per_month
+        assert config.schedule.dns_attack_fraction == config.dns_attack_fraction
+
+    def test_scaled(self):
+        config = WorldConfig().scaled(0.5)
+        assert config.n_domains == 10_000
+        assert config.attacks_per_month == 1_000
+        assert config.schedule.attacks_per_month == 1_000
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WorldConfig().scaled(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_domains": 0},
+        {"misconfig_fraction": 2.0},
+        {"headroom": 0.0},
+        {"dns_attack_fraction": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorldConfig(**kwargs)
+
+    def test_tiny_and_small_presets(self):
+        assert WorldConfig.tiny().n_domains < WorldConfig.small().n_domains
+
+
+class TestStudyPipeline:
+    def test_study_bundle_types(self, tiny_study):
+        assert isinstance(tiny_study, Study)
+        assert tiny_study.feed.attacks
+        assert tiny_study.store.n_measurements > 0
+        assert tiny_study.events
+
+    def test_analyses_cached(self, tiny_study):
+        assert tiny_study.monthly is tiny_study.monthly
+        assert tiny_study.resilience is tiny_study.resilience
+
+    def test_report_renders_all_sections(self, tiny_study):
+        report = tiny_study.report()
+        for marker in ("Monthly attack activity", "Targeted services",
+                       "Resolution failures", "RTT impact", "Correlations",
+                       "Resilience efficacy", "Top attacked ASNs",
+                       "Top attacked IPs", "Telescope visibility"):
+            assert marker in report
+
+    def test_run_study_with_prebuilt_world(self, tiny_world):
+        study = run_study(world=tiny_world)
+        assert study.world is tiny_world
+        assert study.config is tiny_world.config
+
+    def test_reproducible_end_to_end(self, tiny_config):
+        a = run_study(tiny_config)
+        b = run_study(tiny_config)
+        assert len(a.feed.attacks) == len(b.feed.attacks)
+        assert a.store.n_measurements == b.store.n_measurements
+        assert len(a.events) == len(b.events)
+        assert [e.nsset_id for e in a.events] == [e.nsset_id for e in b.events]
+        assert a.monthly.total_attacks == b.monthly.total_attacks
+
+    def test_different_seeds_differ(self):
+        a = run_study(WorldConfig.tiny(seed=1))
+        b = run_study(WorldConfig.tiny(seed=2))
+        assert [a0.victim_ip for a0 in a.feed.attacks] != \
+            [b0.victim_ip for b0 in b.feed.attacks]
+
+    def test_progress_callback(self, tiny_config):
+        ticks = []
+        run_study(tiny_config, progress=lambda i, n: ticks.append(i))
+        assert ticks and ticks == sorted(ticks)
+
+    def test_telescope_misses_some_ground_truth(self, tiny_study):
+        # Reflected/unspoofed attacks are invisible: the feed must be a
+        # strict subset of ground truth (paper §4.3).
+        assert len(tiny_study.feed.attacks) < len(tiny_study.world.attacks)
+
+    def test_events_reference_real_nssets(self, tiny_study):
+        registry = tiny_study.world.directory.nssets
+        for event in tiny_study.events:
+            assert registry.ips_of(event.nsset_id)

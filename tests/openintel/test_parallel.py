@@ -1,0 +1,66 @@
+"""Tests for the multi-process crawl."""
+
+import pytest
+
+from repro.openintel.platform import OpenIntelPlatform, run_parallel
+from repro.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def parallel_store(tiny_config):
+    return run_parallel(tiny_config, n_workers=2)
+
+
+class TestRunParallel:
+    def test_measurement_count_matches_serial(self, tiny_config,
+                                              parallel_store):
+        serial = OpenIntelPlatform(build_world(tiny_config)).run()
+        assert parallel_store.n_measurements == serial.n_measurements
+
+    def test_day_aggregates_cover_same_keys(self, tiny_config,
+                                            parallel_store):
+        serial = OpenIntelPlatform(build_world(tiny_config)).run()
+        assert set(parallel_store.daily) == set(serial.daily)
+        for key in serial.daily:
+            assert parallel_store.daily[key].n == serial.daily[key].n
+
+    def test_statistically_equivalent_baselines(self, tiny_config,
+                                                parallel_store):
+        # RNG draw order differs per shard, so values are not identical —
+        # but quiet-day baselines must agree closely.
+        # Compare well-sampled QUIET days only: attack-day RTTs are
+        # retry-burn dominated (bimodal with huge variance), and small
+        # aggregates are noisy when an NSSet mixes near/far servers.
+        world = build_world(tiny_config)
+        serial = OpenIntelPlatform(world).run()
+        compared = 0
+        for (nsset_id, day), agg in serial.daily.items():
+            if world.is_dense_day(nsset_id, day):
+                continue
+            other = parallel_store.daily[(nsset_id, day)]
+            if agg.ok_n >= 60 and other.ok_n >= 60:
+                assert other.avg_rtt == pytest.approx(agg.avg_rtt, rel=0.25)
+                compared += 1
+        assert compared > 20
+
+    def test_single_worker_equals_serial_shard(self, tiny_config):
+        one = run_parallel(tiny_config, n_workers=1)
+        serial = OpenIntelPlatform(build_world(tiny_config)).run()
+        assert one.n_measurements == serial.n_measurements
+
+    def test_deterministic_for_fixed_workers(self, tiny_config,
+                                             parallel_store):
+        again = run_parallel(tiny_config, n_workers=2)
+        assert again.n_measurements == parallel_store.n_measurements
+        sample = list(parallel_store.daily)[:50]
+        for key in sample:
+            assert again.daily[key].n == parallel_store.daily[key].n
+            a, b = again.daily[key].avg_rtt, parallel_store.daily[key].avg_rtt
+            if a is None or b is None:
+                assert a == b
+            else:
+                assert a == pytest.approx(b)
+
+    def test_rejects_bad_worker_count(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_parallel(tiny_config, n_workers=0)

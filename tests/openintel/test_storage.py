@@ -1,0 +1,144 @@
+"""Tests for measurement records and aggregate storage."""
+
+import io
+
+import pytest
+
+from repro.dns.rcode import ResponseStatus
+from repro.openintel.records import Measurement, dump_measurements, load_measurements
+from repro.openintel.storage import Aggregate, MeasurementStore
+from repro.util.timeutil import DAY, FIVE_MINUTES
+
+
+class TestMeasurement:
+    def test_ok_property(self):
+        m = Measurement(0, 1, 2, ResponseStatus.OK, 10.0)
+        assert m.ok
+        assert not Measurement(0, 1, 2, ResponseStatus.TIMEOUT, 10.0).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Measurement(0, 1, 2, ResponseStatus.OK, -1.0)
+        with pytest.raises(ValueError):
+            Measurement(0, 1, 2, ResponseStatus.OK, 1.0, n_attempts=0)
+
+    def test_serialization_roundtrip(self):
+        measurements = [
+            Measurement(100, 1, 2, ResponseStatus.OK, 10.5, 1),
+            Measurement(200, 3, 4, ResponseStatus.TIMEOUT, 15000.0, 6),
+        ]
+        buf = io.StringIO()
+        dump_measurements(measurements, buf)
+        buf.seek(0)
+        assert list(load_measurements(buf)) == measurements
+
+    def test_load_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            list(load_measurements(io.StringIO("bogus\n")))
+
+
+class TestAggregate:
+    def test_ok_statistics(self):
+        agg = Aggregate()
+        agg.add(ResponseStatus.OK, 10.0)
+        agg.add(ResponseStatus.OK, 30.0)
+        assert agg.n == 2
+        assert agg.avg_rtt == 20.0
+        assert agg.rtt_min == 10.0
+        assert agg.rtt_max == 30.0
+        assert agg.failure_rate == 0.0
+
+    def test_error_counting(self):
+        agg = Aggregate()
+        agg.add(ResponseStatus.OK, 10.0)
+        agg.add(ResponseStatus.TIMEOUT, 15000.0)
+        agg.add(ResponseStatus.SERVFAIL, 5.0)
+        agg.add(ResponseStatus.NETWORK_ERROR, 0.0)
+        assert agg.errors == 3
+        assert agg.timeout_n == 1
+        assert agg.servfail_n == 1
+        assert agg.other_err_n == 1
+        assert agg.failure_rate == 0.75
+        assert agg.timeout_rate == 0.25
+
+    def test_all_failed_has_no_avg(self):
+        agg = Aggregate()
+        agg.add(ResponseStatus.TIMEOUT, 15000.0)
+        assert agg.avg_rtt is None
+
+    def test_merge(self):
+        a = Aggregate()
+        a.add(ResponseStatus.OK, 10.0)
+        b = Aggregate()
+        b.add(ResponseStatus.OK, 30.0)
+        b.add(ResponseStatus.TIMEOUT, 1.0)
+        a.merge(b)
+        assert a.n == 3
+        assert a.avg_rtt == 20.0
+        assert a.timeout_n == 1
+
+
+class TestMeasurementStore:
+    def _store(self):
+        store = MeasurementStore()
+        # Day 0: two quiet measurements. Day 1: one dense one.
+        store.add_fast(7, 1000, ResponseStatus.OK, 10.0, False)
+        store.add_fast(7, 2000, ResponseStatus.OK, 20.0, False)
+        store.add_fast(7, DAY + 500, ResponseStatus.OK, 200.0, True)
+        return store
+
+    def test_daily_aggregation(self):
+        store = self._store()
+        agg = store.day_aggregate(7, 0)
+        assert agg.n == 2
+        assert agg.avg_rtt == 15.0
+
+    def test_baseline_is_previous_day(self):
+        store = self._store()
+        assert store.baseline_rtt(7, DAY + 600) == 15.0
+
+    def test_baseline_missing_day(self):
+        assert self._store().baseline_rtt(7, 5 * DAY) is None
+
+    def test_bucket_only_when_dense(self):
+        store = self._store()
+        assert store.bucket_aggregate(7, 1000) is None
+        assert store.bucket_aggregate(7, DAY + 500) is not None
+
+    def test_buckets_in_range(self):
+        store = MeasurementStore()
+        for i in range(5):
+            store.add_fast(1, i * FIVE_MINUTES + 10, ResponseStatus.OK,
+                           10.0, True)
+        buckets = list(store.buckets_in(1, 0, 3 * FIVE_MINUTES))
+        assert len(buckets) == 3
+        assert [ts for ts, _ in buckets] == [0, FIVE_MINUTES, 2 * FIVE_MINUTES]
+
+    def test_domains_measured(self):
+        store = MeasurementStore()
+        for i in range(7):
+            store.add_fast(1, 100 + i, ResponseStatus.OK, 10.0, True)
+        assert store.domains_measured(1, 0, FIVE_MINUTES) == 7
+
+    def test_daily_series(self):
+        store = self._store()
+        series = store.daily_series(7, 0, 3 * DAY)
+        assert [day for day, _ in series] == [0, DAY]
+
+    def test_n_measurements(self):
+        assert self._store().n_measurements == 3
+
+    def test_merge_stores(self):
+        a = self._store()
+        b = self._store()
+        a.merge(b)
+        assert a.n_measurements == 6
+        assert a.day_aggregate(7, 0).n == 4
+        assert a.bucket_aggregate(7, DAY + 500).n == 2
+
+    def test_separate_nssets(self):
+        store = MeasurementStore()
+        store.add_fast(1, 100, ResponseStatus.OK, 10.0, False)
+        store.add_fast(2, 100, ResponseStatus.OK, 99.0, False)
+        assert store.day_avg_rtt(1, 0) == 10.0
+        assert store.day_avg_rtt(2, 0) == 99.0

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_ARGS = ["--domains", "700", "--attacks-per-month", "60",
+             "--start", "2021-03-01", "--end", "2021-04-01"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.domains == 8000
+        assert args.seed == 42
+
+    def test_case_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case", "nonexistent"])
+
+    def test_export_output(self):
+        args = build_parser().parse_args(["export", "--output", "/tmp/x"])
+        assert args.output == "/tmp/x"
+
+
+class TestCommands:
+    def test_report_runs(self, capsys):
+        assert main(["report"] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Monthly attack activity" in out
+        assert "Resilience efficacy" in out
+
+    def test_export_writes_datasets(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "datasets")
+        assert main(["export", "--output", out_dir] + FAST_ARGS) == 0
+        files = set(os.listdir(out_dir))
+        assert "rsdos_records.csv" in files
+        assert "prefix2as.tsv" in files
+        assert "as2org.jsonl" in files
+        assert "anycast_census.jsonl" in files
+        assert "open_resolvers.json" in files
+
+    def test_visibility_runs(self, capsys):
+        assert main(["visibility"] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Telescope visibility" in out
+        assert "randomly spoofed" in out

@@ -1,0 +1,153 @@
+"""Tests for the address plan and AS registry."""
+
+import random
+
+import pytest
+
+from repro.net.ip import IPv4Prefix, parse_ip
+from repro.topology.generator import ANALOG_ORGS, TopologyConfig, generate_topology
+from repro.topology.internet import (
+    TELESCOPE_SLASH9,
+    TELESCOPE_SLASH10,
+    AllocationError,
+    InternetTopology,
+    ReservedSpace,
+)
+
+
+class TestReservedSpace:
+    def test_telescope_reserved(self):
+        reserved = ReservedSpace()
+        assert reserved.contains_ip(parse_ip("44.0.0.1"))
+        assert reserved.contains_ip(parse_ip("44.128.0.1"))
+
+    def test_rfc1918_reserved(self):
+        reserved = ReservedSpace()
+        assert reserved.contains_ip(parse_ip("10.1.2.3"))
+        assert reserved.contains_ip(parse_ip("192.168.1.1"))
+
+    def test_public_not_reserved(self):
+        assert not ReservedSpace().contains_ip(parse_ip("8.8.8.8"))
+
+    def test_covers_both_directions(self):
+        reserved = ReservedSpace()
+        assert reserved.covers(IPv4Prefix.parse("10.1.0.0/16"))   # inside
+        assert reserved.covers(IPv4Prefix.parse("0.0.0.0/0"))     # contains
+
+
+class TestInternetTopology:
+    def _topology(self):
+        internet = InternetTopology()
+        org = internet.add_org("Acme", "US")
+        return internet, internet.add_as(org)
+
+    def test_allocate_announces(self):
+        internet, asys = self._topology()
+        prefix = internet.allocate(asys, 20)
+        assert internet.origin_asn(prefix.network) == asys.number
+        assert prefix in asys.prefixes
+
+    def test_allocations_disjoint(self):
+        internet, asys = self._topology()
+        prefixes = [internet.allocate(asys, 22) for _ in range(50)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.contains_prefix(b) and not b.contains_prefix(a)
+
+    def test_allocations_avoid_reserved(self):
+        internet, asys = self._topology()
+        reserved = ReservedSpace()
+        for _ in range(100):
+            prefix = internet.allocate(asys, 20)
+            assert not reserved.covers(prefix)
+
+    def test_announce_rejects_reserved(self):
+        internet, asys = self._topology()
+        with pytest.raises(AllocationError):
+            internet.announce(asys, TELESCOPE_SLASH9)
+        with pytest.raises(AllocationError):
+            internet.announce(asys, IPv4Prefix.parse("10.0.0.0/8"))
+
+    def test_announce_rejects_duplicate_different_origin(self):
+        internet, asys = self._topology()
+        other = internet.add_as(internet.add_org("Other"))
+        prefix = internet.allocate(asys, 20)
+        with pytest.raises(AllocationError):
+            internet.announce(other, prefix)
+
+    def test_explicit_announce_low_space(self):
+        internet, asys = self._topology()
+        prefix = IPv4Prefix.parse("8.8.8.0/24")
+        internet.announce(asys, prefix)
+        assert internet.origin_asn(parse_ip("8.8.8.8")) == asys.number
+
+    def test_origin_lookup_longest_match(self):
+        internet, asys = self._topology()
+        other = internet.add_as(internet.add_org("Other"))
+        internet.announce(asys, IPv4Prefix.parse("100.0.0.0/8"))
+        internet.announce(other, IPv4Prefix.parse("100.1.0.0/16"))
+        assert internet.origin_asn(parse_ip("100.1.2.3")) == other.number
+        assert internet.origin_asn(parse_ip("100.2.2.3")) == asys.number
+
+    def test_origin_org(self):
+        internet, asys = self._topology()
+        prefix = internet.allocate(asys, 24)
+        assert internet.origin_org(prefix.network).name == "Acme"
+
+    def test_duplicate_asn_rejected(self):
+        internet, asys = self._topology()
+        with pytest.raises(ValueError):
+            internet.add_as(asys.org, number=asys.number)
+
+    def test_duplicate_org_id_rejected(self):
+        internet = InternetTopology()
+        internet.add_org("A", org_id="x")
+        with pytest.raises(ValueError):
+            internet.add_org("B", org_id="x")
+
+    def test_allocate_rejects_silly_lengths(self):
+        internet, asys = self._topology()
+        with pytest.raises(AllocationError):
+            internet.allocate(asys, 4)
+        with pytest.raises(AllocationError):
+            internet.allocate(asys, 30)
+
+    def test_routes_enumeration(self):
+        internet, asys = self._topology()
+        internet.allocate(asys, 20)
+        internet.allocate(asys, 24)
+        assert internet.n_routes == 2
+        assert len(list(internet.routes())) == 2
+
+
+class TestGenerateTopology:
+    def test_analog_orgs_present(self):
+        gen = generate_topology(random.Random(1), TopologyConfig(n_filler_orgs=5))
+        for name, asn, country in ANALOG_ORGS:
+            asys = gen.analog_as[name]
+            assert asys.number == asn
+            assert asys.org.country == country
+            assert asys.prefixes  # has address space
+
+    def test_filler_count(self):
+        gen = generate_topology(random.Random(1), TopologyConfig(n_filler_orgs=20))
+        assert len(gen.filler_as) >= 20
+
+    def test_deterministic(self):
+        a = generate_topology(random.Random(9), TopologyConfig(n_filler_orgs=10))
+        b = generate_topology(random.Random(9), TopologyConfig(n_filler_orgs=10))
+        assert [x.number for x in a.filler_as] == [x.number for x in b.filler_as]
+        assert ([str(p) for x in a.filler_as for p in x.prefixes]
+                == [str(p) for x in b.filler_as for p in x.prefixes])
+
+    def test_no_analogs_config(self):
+        gen = generate_topology(random.Random(1),
+                                TopologyConfig(n_filler_orgs=3,
+                                               include_analogs=False))
+        assert not gen.analog_as
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(n_filler_orgs=-1)
+        with pytest.raises(ValueError):
+            TopologyConfig(multi_as_org_fraction=2.0)

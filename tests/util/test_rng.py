@@ -1,0 +1,130 @@
+"""Tests for deterministic RNG streams."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import (
+    RngStreams,
+    derive_seed,
+    sample_unique,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_is_not_concatenation(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(42, "ab") != derive_seed(42, "a", "b")
+
+    @given(st.integers(min_value=0, max_value=2 ** 63), st.text(max_size=50))
+    def test_always_in_64bit_range(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2 ** 64
+
+
+class TestRngStreams:
+    def test_same_stream_object_returned(self):
+        streams = RngStreams(42)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_independent(self):
+        # Drawing from one stream must not disturb another.
+        a = RngStreams(42)
+        b = RngStreams(42)
+        _ = [a.stream("noise").random() for _ in range(100)]
+        assert a.stream("data").random() == b.stream("data").random()
+
+    def test_fork_changes_streams(self):
+        streams = RngStreams(42)
+        child = streams.fork("sub")
+        assert child.stream("x").random() != streams.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RngStreams(42).fork("sub").stream("x").random()
+        b = RngStreams(42).fork("sub").stream("x").random()
+        assert a == b
+
+    def test_spawn_seed_stable(self):
+        assert RngStreams(7).spawn_seed("x") == RngStreams(7).spawn_seed("x")
+
+
+class TestWeightedChoice:
+    def test_single_item(self, rng):
+        assert weighted_choice(rng, ["a"], [1.0]) == "a"
+
+    def test_zero_weight_never_chosen(self, rng):
+        picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0])
+                 for _ in range(200)}
+        assert picks == {"a"}
+
+    def test_roughly_proportional(self, rng):
+        n = 10_000
+        count = sum(1 for _ in range(n)
+                    if weighted_choice(rng, ["a", "b"], [3.0, 1.0]) == "a")
+        assert 0.70 < count / n < 0.80
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+
+    def test_rejects_zero_total(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+
+class TestZipfWeights:
+    def test_length(self):
+        assert len(zipf_weights(10)) == 10
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, alpha=1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_alpha_zero_uniform(self):
+        assert zipf_weights(5, alpha=0.0) == [1.0] * 5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, alpha=-1)
+
+
+class TestSampleUnique:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=500))
+    def test_unique_and_in_range(self, k, population):
+        if k > population:
+            return
+        rng = random.Random(9)
+        values = list(sample_unique(rng, population, k))
+        assert len(values) == len(set(values)) == k
+        assert all(0 <= v < population for v in values)
+
+    def test_rejects_oversample(self, rng):
+        with pytest.raises(ValueError):
+            sample_unique(rng, 5, 6)
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            sample_unique(rng, 5, -1)
+
+    def test_large_population_small_k(self, rng):
+        values = list(sample_unique(rng, 2 ** 32, 1000))
+        assert len(set(values)) == 1000

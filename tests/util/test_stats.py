@@ -1,0 +1,256 @@
+"""Tests for summary statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    Histogram,
+    LogHistogram,
+    RunningStats,
+    bimodal_modes,
+    describe,
+    gini,
+    mean,
+    median,
+    pearson,
+    percentile,
+    ratio,
+    spearman,
+)
+
+FLOATS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.n == 0
+        assert stats.variance == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.min == stats.max == 5.0
+
+    @given(st.lists(FLOATS, min_size=1, max_size=200))
+    def test_matches_batch_computation(self, values):
+        stats = RunningStats()
+        for v in values:
+            stats.add(v)
+        assert stats.n == len(values)
+        assert stats.mean == pytest.approx(sum(values) / len(values), abs=1e-6, rel=1e-6)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+    @given(st.lists(FLOATS, min_size=1, max_size=100),
+           st.lists(FLOATS, min_size=1, max_size=100))
+    def test_merge_equals_combined(self, a, b):
+        left = RunningStats()
+        for v in a:
+            left.add(v)
+        right = RunningStats()
+        for v in b:
+            right.add(v)
+        left.merge(right)
+        combined = RunningStats()
+        for v in a + b:
+            combined.add(v)
+        assert left.n == combined.n
+        assert left.mean == pytest.approx(combined.mean, abs=1e-6, rel=1e-6)
+        assert left.variance == pytest.approx(combined.variance, abs=1e-3, rel=1e-3)
+
+    def test_merge_empty_is_noop(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        stats.merge(RunningStats())
+        assert stats.n == 1
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2, 4, 6, 8, 10]
+        assert pearson(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = random.Random(5)
+        xs = [rng.random() for _ in range(5000)]
+        ys = [rng.random() for _ in range(5000)]
+        assert abs(pearson(xs, ys)) < 0.05
+
+    def test_degenerate_constant(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_short(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    @given(st.lists(st.tuples(FLOATS, FLOATS), min_size=2, max_size=100))
+    def test_bounded(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [math.exp(x) for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        assert -1.0 <= spearman([1, 1, 2, 2], [3, 3, 4, 4]) <= 1.0
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(FLOATS, min_size=1, max_size=100),
+           st.floats(min_value=0, max_value=100))
+    def test_within_bounds(self, values, p):
+        result = percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    def test_median_helper(self):
+        assert median([1, 2, 3]) == 2
+
+
+class TestRatioAndMean:
+    def test_ratio(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_ratio_zero_denominator(self):
+        assert ratio(1, 0) == 0.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        hist = Histogram(0, 10, 10)
+        hist.add(0.5)
+        hist.add(9.5)
+        assert hist.counts[0] == 1
+        assert hist.counts[9] == 1
+
+    def test_underflow_overflow(self):
+        hist = Histogram(0, 10, 5)
+        hist.add(-1)
+        hist.add(10)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 2
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Histogram(10, 0, 5)
+
+    def test_modes(self):
+        hist = Histogram(0, 10, 10)
+        for _ in range(5):
+            hist.add(2.5)
+        for _ in range(3):
+            hist.add(7.5)
+        modes = hist.modes(2)
+        assert modes[0] == pytest.approx(2.5)
+        assert modes[1] == pytest.approx(7.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=9.99), max_size=100))
+    def test_total_conserved(self, values):
+        hist = Histogram(0, 10, 7)
+        for v in values:
+            hist.add(v)
+        assert hist.total == len(values)
+
+
+class TestLogHistogram:
+    def test_decades(self):
+        hist = LogHistogram()
+        hist.add(5)       # decade 0
+        hist.add(50)      # decade 1
+        hist.add(5000)    # decade 3
+        assert dict(hist.items()) == {0: 1, 1: 1, 3: 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogHistogram().add(0)
+
+    def test_share(self):
+        hist = LogHistogram()
+        hist.add(5)
+        hist.add(50)
+        assert hist.share(0) == 0.5
+
+
+class TestBimodalModes:
+    def test_detects_two_modes(self):
+        rng = random.Random(11)
+        low = [rng.lognormvariate(math.log(50), 0.2) for _ in range(400)]
+        high = [rng.lognormvariate(math.log(6000), 0.2) for _ in range(400)]
+        modes = bimodal_modes(low + high)
+        assert len(modes) == 2
+        assert 20 < modes[0] < 150
+        assert 2500 < modes[1] < 15000
+
+    def test_single_mode(self):
+        rng = random.Random(11)
+        data = [rng.lognormvariate(math.log(100), 0.1) for _ in range(500)]
+        modes = bimodal_modes(data)
+        assert len(modes) >= 1
+        assert 50 < modes[0] < 200
+
+    def test_empty(self):
+        assert bimodal_modes([]) == []
+
+    def test_constant(self):
+        assert bimodal_modes([5.0] * 10) == [5.0]
+
+
+class TestGini:
+    def test_equal_distribution(self):
+        assert gini([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    def test_total_concentration(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert gini([]) == 0.0
+
+
+class TestDescribe:
+    def test_empty(self):
+        assert describe([])["n"] == 0
+
+    def test_fields(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats["n"] == 3
+        assert stats["mean"] == 2.0
+        assert stats["p50"] == 2.0

@@ -1,0 +1,71 @@
+"""Property tests: AttackIndex lookups vs a brute-force oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.model import Attack, AttackVector, ImpairmentProfile
+from repro.util.timeutil import Window
+from repro.world.simulation import AttackIndex
+
+VICTIMS = st.integers(min_value=0x0A000000, max_value=0x0A0003FF)
+STARTS = st.integers(min_value=0, max_value=10 ** 6)
+DURATIONS = st.integers(min_value=60, max_value=100_000)
+AFTERMATHS = st.integers(min_value=0, max_value=50_000)
+
+ATTACK = st.builds(
+    lambda victim, start, duration, aftermath: Attack(
+        victim_ip=victim,
+        window=Window(start, start + duration),
+        vectors=[AttackVector.udp_flood(53, 100.0)],
+        impairment=ImpairmentProfile(
+            aftermath_s=aftermath,
+            aftermath_load=0.5 if aftermath else 0.0)),
+    VICTIMS, STARTS, DURATIONS, AFTERMATHS)
+
+
+def brute_force_active(attacks, ip, ts):
+    return sorted(
+        (id(a) for a in attacks
+         if a.victim_ip == ip and a.impact_window.contains(ts)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(ATTACK, max_size=25),
+       st.lists(st.tuples(VICTIMS, STARTS), min_size=1, max_size=20))
+def test_active_on_ip_matches_brute_force(attacks, queries):
+    index = AttackIndex(tracked_s24s=())
+    for attack in attacks:
+        index.add(attack)
+    index.freeze()
+    for ip, ts in queries:
+        got = sorted(id(a) for a in index.active_on_ip(ip, ts))
+        assert got == brute_force_active(attacks, ip, ts)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(ATTACK, max_size=25))
+def test_day_index_covers_impact_windows(attacks):
+    from repro.util.timeutil import DAY, day_start
+
+    index = AttackIndex(tracked_s24s=())
+    for attack in attacks:
+        index.add(attack)
+    index.freeze()
+    for attack in attacks:
+        window = attack.impact_window
+        day = day_start(window.start)
+        while day < window.end:
+            assert (attack.victim_ip, day) in index.ip_days
+            day += DAY
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(ATTACK, max_size=20), VICTIMS, STARTS)
+def test_active_on_s24_superset_of_ip(attacks, ip, ts):
+    s24 = ip & 0xFFFFFF00
+    index = AttackIndex(tracked_s24s={s24})
+    for attack in attacks:
+        index.add(attack)
+    index.freeze()
+    on_ip = {id(a) for a in index.active_on_ip(ip, ts)}
+    on_s24 = {id(a) for a in index.active_on_s24(s24, ts)}
+    assert on_ip <= on_s24
