@@ -23,21 +23,27 @@ Subpackages (importable directly for finer-grained use):
 - :mod:`repro.telescope` — darknet, backscatter, RSDoS inference, feed
 - :mod:`repro.openintel` — daily crawl and aggregate storage
 - :mod:`repro.streaming` — in-process topics + discrete-event scheduler
+- :mod:`repro.chaos` — seeded fault injection over the pipeline surfaces
 - :mod:`repro.core` — the paper's join pipeline and analyses
 - :mod:`repro.datasets` — open-resolver scan, dataset bundle I/O
 """
 
 from repro.core.pipeline import Study, run_study
 from repro.core.reactive import ReactivePlatform
+from repro.chaos.injector import FaultInjector
+from repro.chaos.policy import ChaosConfig, FaultPolicy
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Study",
     "run_study",
     "ReactivePlatform",
+    "ChaosConfig",
+    "FaultPolicy",
+    "FaultInjector",
     "WorldConfig",
     "World",
     "build_world",

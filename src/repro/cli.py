@@ -23,7 +23,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro import WorldConfig, run_study
+from repro import ChaosConfig, WorldConfig, run_study
 from repro.core.visibility import analyze_visibility
 from repro.datasets.io import dataset_bundle_dump
 from repro.util.tables import Table, format_pct
@@ -37,6 +37,14 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--start", default="2020-11-01")
     parser.add_argument("--end", default="2022-04-01",
                         help="end date, exclusive")
+    parser.add_argument("--chaos", choices=("light", "moderate", "heavy"),
+                        default=None, metavar="LEVEL",
+                        help="inject seeded faults at LEVEL "
+                             "(light/moderate/heavy) and run the "
+                             "hardened pipeline")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="fault-schedule seed (default 0; independent "
+                             "of the world --seed)")
 
 
 def _config_from(args: argparse.Namespace) -> WorldConfig:
@@ -51,12 +59,23 @@ def _config_from(args: argparse.Namespace) -> WorldConfig:
 
 def _run(args: argparse.Namespace):
     config = _config_from(args)
+    chaos = None
+    if getattr(args, "chaos", None):
+        chaos = ChaosConfig.preset(args.chaos, seed=args.chaos_seed)
+        print(f"chaos enabled ({args.chaos}, seed {args.chaos_seed}):\n"
+              f"{chaos.describe()}", file=sys.stderr)
     print(f"running study {config.start} .. {config.end_exclusive} "
           f"({config.n_domains} domains, "
           f"{config.attacks_per_month} attacks/month)...", file=sys.stderr)
     t0 = time.time()
-    study = run_study(config)
+    study = run_study(config, chaos=chaos)
     print(f"done in {time.time() - t0:.1f}s", file=sys.stderr)
+    if study.chaos is not None:
+        print(study.chaos.summary(), file=sys.stderr)
+        print(f"join rejected {len(study.join.rejected)} records; "
+              f"{len(study.degraded_events)}/{len(study.events)} events "
+              f"degraded; store rejected {study.store.n_rejected} rows",
+              file=sys.stderr)
     return study
 
 

@@ -46,6 +46,13 @@ class AttackEvent:
         return self.series.n_failed > 0
 
     @property
+    def degraded(self) -> bool:
+        """True when the event's series was built on impaired data (a
+        substituted baseline day or skipped corrupt buckets). Impact
+        figures for degraded events are estimates, never NaN."""
+        return self.series.degraded
+
+    @property
     def max_impact(self) -> Optional[float]:
         return self.series.max_impact
 

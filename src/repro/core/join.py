@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.datasets.openresolvers import OpenResolverScan
 from repro.net.ip import slash24_of
-from repro.telescope.rsdos import InferredAttack
+from repro.telescope.rsdos import InferredAttack, attack_problem
 from repro.world.domains import DomainDirectory
 
 
@@ -58,11 +58,30 @@ class ClassifiedAttack:
         return self.attack.victim_ip
 
 
+@dataclass(frozen=True)
+class RejectedRecord:
+    """A feed record the join refused, with the reason.
+
+    Damaged feed rows (truncated, corrupt, wrong type) are recorded
+    here instead of crashing the join — the classification analog of a
+    dead-letter topic."""
+
+    record: object
+    reason: str
+
+
 @dataclass
 class DatasetJoin:
     """The full join result over a feed."""
 
     classified: List[ClassifiedAttack] = field(default_factory=list)
+    rejected: List[RejectedRecord] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any input record had to be rejected: downstream
+        counts are lower bounds, not exact."""
+        return bool(self.rejected)
 
     def by_class(self, klass: AttackClass) -> List[ClassifiedAttack]:
         return [c for c in self.classified if c.klass is klass]
@@ -97,11 +116,20 @@ def join_datasets(attacks: Sequence[InferredAttack],
     ``directory`` provides the measurement platform's delegation view
     (the previous-day nameserver list in the paper's streaming pipeline;
     delegations are effectively day-stable in both worlds).
+
+    Malformed feed records (attack-time telemetry is lossy and corrupt)
+    never crash the join: each is appended to ``join.rejected`` with a
+    reason and skipped, and ``join.degraded`` reports that downstream
+    counts are lower bounds.
     """
     ns_ips = directory.nameserver_ips()
     ns_slash24s = {slash24_of(ip) for ip in ns_ips}
     join = DatasetJoin()
     for attack in attacks:
+        problem = attack_problem(attack)
+        if problem is not None:
+            join.rejected.append(RejectedRecord(attack, problem))
+            continue
         victim = attack.victim_ip
         if victim in ns_ips:
             if open_resolvers is not None and victim in open_resolvers:

@@ -8,8 +8,9 @@ bench reproduces that comparison).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.openintel.storage import MeasurementStore
 from repro.util.timeutil import DAY, Window, day_start
@@ -19,6 +20,8 @@ def impact_on_rtt(avg_rtt_5min: Optional[float],
                   baseline_rtt: Optional[float]) -> Optional[float]:
     """Equation 1; None when either side is unmeasurable."""
     if avg_rtt_5min is None or baseline_rtt is None or baseline_rtt <= 0:
+        return None
+    if not (math.isfinite(avg_rtt_5min) and math.isfinite(baseline_rtt)):
         return None
     return avg_rtt_5min / baseline_rtt
 
@@ -56,6 +59,12 @@ class ImpactSeries:
     baseline_rtt: Optional[float]
     points: List[ImpactPoint] = field(default_factory=list)
     min_bucket_n: int = 1
+    #: True when this series was built on impaired data: the baseline
+    #: day was missing (a prior clean day substituted) and/or corrupt
+    #: 5-minute buckets were skipped. Consumers must surface the flag.
+    degraded: bool = False
+    #: corrupt buckets skipped while building the series.
+    n_corrupt: int = 0
 
     @property
     def n_measured(self) -> int:
@@ -116,19 +125,37 @@ class ImpactSeries:
         return max((p.failure_rate for p in self.points if p.n), default=0.0)
 
 
+#: How far past the nominal horizon the degraded-baseline search walks
+#: when every in-horizon day is missing (lost OpenINTEL days).
+BASELINE_FALLBACK_DAYS = 7
+
+
 def impact_series(store: MeasurementStore, nsset_id: int, window: Window,
                   baseline_kind: str = "day",
-                  min_bucket_n: int = 1) -> ImpactSeries:
+                  min_bucket_n: int = 1,
+                  baseline_fallback_days: int = BASELINE_FALLBACK_DAYS
+                  ) -> ImpactSeries:
     """Build the impact series of a NSSet over ``window``.
 
     ``baseline_kind`` selects the §4.1 baseline: ``day`` (default),
     ``week`` or ``month`` — the average of the daily averages over that
     many preceding days (used by the ablation bench).
+
+    Degrades instead of failing on impaired data: a missing baseline
+    day falls back to the nearest prior clean day (up to
+    ``baseline_fallback_days`` further back) and corrupt 5-minute
+    buckets are skipped; either path sets ``series.degraded``.
     """
-    baseline = compute_baseline(store, nsset_id, window.start, baseline_kind)
+    baseline, fell_back = compute_baseline_degraded(
+        store, nsset_id, window.start, baseline_kind, baseline_fallback_days)
     series = ImpactSeries(nsset_id=nsset_id, window=window,
-                          baseline_rtt=baseline, min_bucket_n=min_bucket_n)
+                          baseline_rtt=baseline, min_bucket_n=min_bucket_n,
+                          degraded=fell_back)
     for ts, agg in store.buckets_in(nsset_id, window.start, window.end):
+        if not agg.is_valid:
+            series.n_corrupt += 1
+            series.degraded = True
+            continue
         series.points.append(ImpactPoint(
             ts=ts, n=agg.n, ok=agg.ok_n, timeouts=agg.timeout_n,
             servfails=agg.servfail_n, avg_rtt=agg.avg_rtt,
@@ -138,7 +165,9 @@ def impact_series(store: MeasurementStore, nsset_id: int, window: Window,
 
 def compute_baseline(store: MeasurementStore, nsset_id: int, ts: int,
                      kind: str = "day") -> Optional[float]:
-    """Baseline average RTT before ``ts`` over a day/week/month horizon."""
+    """Baseline average RTT before ``ts`` over a day/week/month horizon.
+
+    Non-finite daily averages (corrupt aggregates) count as missing."""
     horizons = {"day": 1, "week": 7, "month": 30}
     try:
         n_days = horizons[kind]
@@ -147,9 +176,48 @@ def compute_baseline(store: MeasurementStore, nsset_id: int, ts: int,
     day0 = day_start(ts)
     values = []
     for back in range(1, n_days + 1):
-        avg = store.day_avg_rtt(nsset_id, day0 - back * DAY)
+        avg = _clean_day_avg(store, nsset_id, day0 - back * DAY)
         if avg is not None:
             values.append(avg)
     if not values:
         return None
     return sum(values) / len(values)
+
+
+def compute_baseline_degraded(store: MeasurementStore, nsset_id: int, ts: int,
+                              kind: str = "day",
+                              max_fallback_days: int = BASELINE_FALLBACK_DAYS
+                              ) -> Tuple[Optional[float], bool]:
+    """The baseline plus a degradation flag.
+
+    When the nominal horizon holds no clean day (the day before
+    vanished — precisely the attack scenarios the paper worries about,
+    or a chaos-injected lost day), walks further back, one day at a
+    time, to the *nearest prior clean day*. Returns ``(baseline,
+    degraded)``; degraded marks a *substituted* baseline. When even the
+    fallback finds nothing the result is ``(None, False)``: no data was
+    substituted — the series is simply unmeasurable (impacts all None),
+    which is also what a clean run produces at the timeline edge.
+    """
+    baseline = compute_baseline(store, nsset_id, ts, kind)
+    if baseline is not None:
+        return baseline, False
+    horizon = {"day": 1, "week": 7, "month": 30}[kind]
+    day0 = day_start(ts)
+    for back in range(horizon + 1, horizon + max_fallback_days + 1):
+        avg = _clean_day_avg(store, nsset_id, day0 - back * DAY)
+        if avg is not None:
+            return avg, True
+    return None, False
+
+
+def _clean_day_avg(store: MeasurementStore, nsset_id: int,
+                   day: int) -> Optional[float]:
+    """A day's average RTT, treating corrupt aggregates as absent."""
+    agg = store.day_aggregate(nsset_id, day)
+    if agg is None or not agg.is_valid:
+        return None
+    avg = agg.avg_rtt
+    if avg is None or not math.isfinite(avg):
+        return None
+    return avg

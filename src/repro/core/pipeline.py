@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # avoid a core <-> chaos import cycle at runtime
+    from repro.chaos.injector import FaultInjector
+    from repro.chaos.policy import ChaosConfig
 
 from repro.core.correlation import CorrelationAnalysis, analyze_correlation
 from repro.core.events import AttackEvent, extract_events
@@ -63,6 +67,19 @@ class Study:
     join: DatasetJoin
     metadata: NSSetMetadata
     events: List[AttackEvent]
+    #: the fault injector of a chaos run (None on clean runs); carries
+    #: the injected-fault log and the feed job's dead letters.
+    chaos: Optional["FaultInjector"] = None
+
+    @property
+    def degraded_events(self) -> List[AttackEvent]:
+        """Events whose impact series was built on impaired data."""
+        return [e for e in self.events if e.degraded]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pipeline stage ran on impaired inputs."""
+        return self.join.degraded or bool(self.degraded_events)
 
     @cached_property
     def monthly(self) -> MonthlySummary:
@@ -122,14 +139,30 @@ class Study:
 def run_study(config: Optional[WorldConfig] = None,
               world: Optional[World] = None,
               progress: Optional[Callable[[int, int], None]] = None,
-              install_scenarios: bool = True) -> Study:
+              install_scenarios: bool = True,
+              chaos: Optional["ChaosConfig"] = None) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
-    events. Pass a pre-built ``world`` to reuse one across analyses."""
+    events. Pass a pre-built ``world`` to reuse one across analyses.
+
+    ``chaos`` enables seeded fault injection on the pipeline's
+    measurement surfaces (see :mod:`repro.chaos`): the crawl's transport
+    is wrapped, the feed is faulted and re-validated through a hardened
+    streaming job (poison records dead-letter with metadata), and the
+    measurement store is damaged post-crawl. Analyses then degrade —
+    flagging affected events — rather than crash. With every fault
+    probability at zero the run is byte-identical to a clean one.
+    """
     if world is None:
         config = config or WorldConfig()
         world = build_world(config, install_scenarios=install_scenarios)
     else:
         config = world.config
+
+    injector: Optional["FaultInjector"] = None
+    if chaos is not None:
+        from repro.chaos.injector import FaultInjector
+
+        injector = FaultInjector(chaos)
 
     darknet = Darknet()
     simulator = BackscatterSimulator(
@@ -138,15 +171,23 @@ def run_study(config: Optional[WorldConfig] = None,
         headroom=config.headroom)
     feed = RSDoSFeed.observe(world.attacks, simulator)
 
-    platform = OpenIntelPlatform(world)
+    transport = (injector.wrap_transport(world.transport)
+                 if injector is not None else None)
+    platform = OpenIntelPlatform(world, transport=transport)
     store = platform.run(progress=progress)
+    if injector is not None:
+        injector.corrupt_store(store)
+
+    feed_attacks = feed.attacks
+    if injector is not None:
+        feed_attacks = injector.harden_feed(feed_attacks)
 
     open_resolvers = OpenResolverScan.from_world(world)
-    join = join_datasets(feed.attacks, world.directory, open_resolvers)
+    join = join_datasets(feed_attacks, world.directory, open_resolvers)
     metadata = NSSetMetadata(world.directory, world.prefix2as,
                              world.as2org, world.census)
     events = extract_events(join, store, metadata,
                             min_domains=config.event_min_domains)
     return Study(config=config, world=world, feed=feed, store=store,
                  open_resolvers=open_resolvers, join=join,
-                 metadata=metadata, events=events)
+                 metadata=metadata, events=events, chaos=injector)

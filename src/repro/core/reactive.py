@@ -103,12 +103,15 @@ class ReactivePlatform:
 
     def __init__(self, world: World, probes_per_window: int = 50,
                  trigger_delay_s: int = 10 * MINUTE,
-                 post_attack_s: int = DAY):
+                 post_attack_s: int = DAY,
+                 transport=None):
         if probes_per_window < 1:
             raise ValueError("probes_per_window must be >= 1")
         if trigger_delay_s < 0 or post_attack_s < 0:
             raise ValueError("delays must be non-negative")
         self.world = world
+        #: probe datagram path (fault injection wraps it here).
+        self.transport = transport or world.transport
         self.probes_per_window = probes_per_window
         self.trigger_delay_s = trigger_delay_s
         self.post_attack_s = post_attack_s
@@ -201,7 +204,7 @@ class ReactivePlatform:
         record = self.world.directory[domain_id]
         probes = []
         for ns_ip in record.delegation.nameserver_ips:
-            reply = self.world.transport(ns_ip, record.name, RRType.NS, ts)
+            reply = self.transport(ns_ip, record.name, RRType.NS, ts)
             probe = ReactiveProbe(
                 ts=ts, domain_id=domain_id, ns_ip=ns_ip,
                 answered=reply.answered,

@@ -53,6 +53,13 @@ class ResolverConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
+        # A single attempt may never overrun the overall client budget:
+        # clamp the retransmission timers into the deadline, so the
+        # first timer firing cannot blow past what the worker allows.
+        if self.attempt_timeout_ms > self.deadline_ms:
+            object.__setattr__(self, "attempt_timeout_ms", float(self.deadline_ms))
+        if self.max_timeout_ms > self.deadline_ms:
+            object.__setattr__(self, "max_timeout_ms", float(self.deadline_ms))
 
 
 @dataclass(frozen=True)

@@ -35,13 +35,17 @@ class OpenIntelPlatform:
     """Drives the daily crawl and fills a :class:`MeasurementStore`."""
 
     def __init__(self, world: World, config: Optional[ResolverConfig] = None,
-                 keep_raw: bool = False, dense_oversampling: int = 6):
+                 keep_raw: bool = False, dense_oversampling: int = 6,
+                 transport=None):
         if dense_oversampling < 1:
             raise ValueError("dense_oversampling must be >= 1")
         self.world = world
         self.config = config or world.config.resolver
         self.rng = world.rngs.stream("openintel")
-        self.resolver = AgnosticResolver(world.transport, self.rng, self.config)
+        #: the datagram path queries travel; fault injection wraps it
+        #: here without the world's ground truth noticing.
+        self.transport = transport or world.transport
+        self.resolver = AgnosticResolver(self.transport, self.rng, self.config)
         self.store = MeasurementStore()
         self.keep_raw = keep_raw
         #: OpenINTEL sends many query types per domain per day (NS, SOA,

@@ -11,6 +11,7 @@ which is provably sufficient for every metric in the paper's analysis.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.dns.rcode import ResponseStatus
@@ -77,6 +78,28 @@ class Aggregate:
         """Mean RTT over answered (OK) queries; None when all failed."""
         return self._rtt_sum / self.ok_n if self.ok_n else None
 
+    @property
+    def is_valid(self) -> bool:
+        """Internal consistency check consumed by the degradation paths.
+
+        A corrupt bucket (chaos-injected or genuinely damaged telemetry)
+        fails one of these invariants; analyses must skip it and mark
+        their output degraded rather than divide by its columns.
+        """
+        if self.n < 0 or self.ok_n < 0 or self.timeout_n < 0 \
+                or self.servfail_n < 0 or self.other_err_n < 0:
+            return False
+        if self.ok_n + self.timeout_n + self.servfail_n + self.other_err_n \
+                != self.n:
+            return False
+        if not math.isfinite(self._rtt_sum):
+            return False
+        if self.ok_n and (not math.isfinite(self.rtt_min)
+                          or not math.isfinite(self.rtt_max)
+                          or self.rtt_min > self.rtt_max):
+            return False
+        return True
+
     def __repr__(self) -> str:
         avg = f"{self.avg_rtt:.1f}ms" if self.ok_n else "n/a"
         return (f"Aggregate(n={self.n}, ok={self.ok_n}, avg={avg}, "
@@ -86,10 +109,16 @@ class Aggregate:
 class MeasurementStore:
     """Daily + dense 5-minute aggregates per NSSet."""
 
+    #: rtt sanity ceiling for ingest: far above any real deadline, low
+    #: enough to reject inf/NaN and garbage (comparison-only, hot path).
+    MAX_RTT_MS = 1e9
+
     def __init__(self) -> None:
         self.daily: Dict[Tuple[int, int], Aggregate] = {}
         self.buckets: Dict[Tuple[int, int], Aggregate] = {}
         self.n_measurements = 0
+        #: malformed rows rejected at ingest (negative/NaN/inf RTTs).
+        self.n_rejected = 0
 
     # -- ingest --------------------------------------------------------------
 
@@ -98,7 +127,16 @@ class MeasurementStore:
 
     def add_fast(self, nsset_id: int, ts: int, status: ResponseStatus,
                  rtt_ms: float, dense: bool) -> None:
-        """Allocation-light ingest used by the measurement hot loop."""
+        """Allocation-light ingest used by the measurement hot loop.
+
+        Malformed rows are counted and dropped, never aggregated: a NaN
+        entering a sum column would silently poison every downstream
+        average (the chained comparison below is False for NaN, so NaN,
+        inf, and negative RTTs all fail it).
+        """
+        if not 0.0 <= rtt_ms <= self.MAX_RTT_MS:
+            self.n_rejected += 1
+            return
         self.n_measurements += 1
         day_key = (nsset_id, ts - ts % DAY)
         agg = self.daily.get(day_key)
@@ -155,7 +193,22 @@ class MeasurementStore:
             day += DAY
         return out
 
+    def days_present(self, nsset_id: int, start: int, end: int) -> List[int]:
+        """Days in [start, end) for which this NSSet has a daily aggregate."""
+        out = []
+        day = day_start(start)
+        while day < end:
+            if (nsset_id, day) in self.daily:
+                out.append(day)
+            day += DAY
+        return out
+
     # -- maintenance -----------------------------------------------------------
+
+    def remove_day(self, nsset_id: int, day: int) -> bool:
+        """Drop one NSSet-day aggregate (chaos: a lost OpenINTEL day);
+        returns whether it existed."""
+        return self.daily.pop((nsset_id, day_start(day)), None) is not None
 
     def merge(self, other: "MeasurementStore") -> None:
         """Fold another store's aggregates into this one (sharded runs)."""
@@ -172,3 +225,4 @@ class MeasurementStore:
             else:
                 mine.merge(agg)
         self.n_measurements += other.n_measurements
+        self.n_rejected += other.n_rejected

@@ -5,19 +5,45 @@ Spark Structured Streaming jobs. This package provides the same
 primitives in-process: ordered topics with offset-tracking consumers, a
 discrete-event scheduler, and small stream processors (filter/map/
 window join) — enough to express the reactive pipeline faithfully.
+
+Jobs can run *hardened* for faulted inputs: per-record retries with
+backoff and jitter, a dead-letter topic for poison records, a circuit
+breaker degrading to pass-through-with-flagging, and checkpoint/restore
+for exactly-once crash recovery (see ``docs/robustness.md``).
 """
 
-from repro.streaming.topic import Broker, Consumer, Topic
+from repro.streaming.topic import Broker, Consumer, Record, Topic
 from repro.streaming.scheduler import EventScheduler, ScheduledEvent
-from repro.streaming.processors import FilterProcessor, MapProcessor, StreamJob
+from repro.streaming.processors import (
+    CircuitBreaker,
+    DeadLetter,
+    FailFastProcessor,
+    FilterProcessor,
+    FlaggedRecord,
+    FlatMapProcessor,
+    MapProcessor,
+    PoisonRecord,
+    Processor,
+    RetryPolicy,
+    StreamJob,
+)
 
 __all__ = [
     "Broker",
     "Consumer",
+    "Record",
     "Topic",
     "EventScheduler",
     "ScheduledEvent",
+    "Processor",
     "FilterProcessor",
     "MapProcessor",
+    "FlatMapProcessor",
+    "FailFastProcessor",
+    "PoisonRecord",
+    "RetryPolicy",
+    "DeadLetter",
+    "FlaggedRecord",
+    "CircuitBreaker",
     "StreamJob",
 ]

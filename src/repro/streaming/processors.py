@@ -3,13 +3,43 @@
 A :class:`StreamJob` consumes one topic, applies a chain of processors,
 and produces to another topic. Jobs are pumped explicitly (``step()``),
 keeping the whole pipeline deterministic and single-threaded.
+
+Jobs can run *hardened* — the configuration a production pipeline needs
+to survive faulted inputs and flaky workers:
+
+- :class:`RetryPolicy`: per-record retries with exponential backoff and
+  deterministic jitter, under a job-wide retry budget;
+- a **dead-letter topic** receiving a :class:`DeadLetter` (value +
+  structured failure metadata) for every poison record, instead of the
+  job crashing mid-stream;
+- a :class:`CircuitBreaker` that opens after N consecutive record
+  failures and degrades the job to pass-through-with-flagging
+  (:class:`FlaggedRecord`) until the breaker half-opens;
+- ``checkpoint()`` / ``restore()``: consumer-offset checkpointing with
+  sink/DLQ truncation on restore, so a job killed mid-stream resumes
+  exactly-once (identical sink contents to an uninterrupted run).
+
+A job constructed without any of these behaves exactly as before:
+processor exceptions propagate to the caller.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Iterable, List, Optional, TypeVar
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.streaming.topic import Broker, Consumer, Record, Topic
+from repro.util.rng import derive_seed
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -53,33 +83,306 @@ class FlatMapProcessor(Processor[T, U]):
         return self.fn(record.value)
 
 
+# ---------------------------------------------------------------------------
+# Hardening primitives
+# ---------------------------------------------------------------------------
+
+
+class PoisonRecord(Exception):
+    """Marks the current record as unprocessable.
+
+    Raised by a processor (typically :class:`FailFastProcessor`) when a
+    record can *never* succeed — malformed schema, unparseable payload.
+    A hardened job routes it straight to the dead-letter topic without
+    burning retries; an unhardened job propagates it like any error.
+    """
+
+    def __init__(self, reason: str, value: Any = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.value = value
+
+
+class FailFastProcessor(Processor[T, T]):
+    """Schema gate: type-checks record values, rejecting mismatches.
+
+    ``types`` is the accepted type (or tuple of types); ``check`` is an
+    optional deeper validator returning a rejection reason (or ``None``
+    when the value is fine). Mismatches raise :class:`PoisonRecord`, so
+    in a hardened job they land on the dead-letter topic with a reason
+    instead of crashing the job mid-stream.
+    """
+
+    def __init__(self, types, check: Optional[Callable[[T], Optional[str]]] = None,
+                 name: str = "validate"):
+        self.types = types if isinstance(types, tuple) else (types,)
+        self.check = check
+        self.name = name
+
+    def process(self, record: Record[T]) -> Iterable[T]:
+        value = record.value
+        if not isinstance(value, self.types):
+            expected = "/".join(t.__name__ for t in self.types)
+            raise PoisonRecord(
+                f"{self.name}: expected {expected}, "
+                f"got {type(value).__name__}", value)
+        if self.check is not None:
+            reason = self.check(value)
+            if reason is not None:
+                raise PoisonRecord(f"{self.name}: {reason}", value)
+        yield value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-record retry with exponential backoff and bounded jitter.
+
+    Backoff for attempt *k* is ``base * multiplier**k`` capped at
+    ``max_backoff_ms``, then jittered by up to ``±jitter`` (a fraction).
+    Jitter is *deterministic* — derived from (job, offset, attempt) —
+    so a restored job recomputes identical delays without having to
+    checkpoint RNG state. ``retry_budget`` caps total retries across
+    the job's lifetime: once spent, failing records dead-letter on
+    their first error (protects throughput during failure storms).
+    """
+
+    max_retries: int = 3
+    base_backoff_ms: float = 50.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 5_000.0
+    jitter: float = 0.1
+    retry_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < self.base_backoff_ms:
+            raise ValueError("invalid backoff configuration")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+
+    def backoff_ms(self, job_name: str, offset: int, attempt: int) -> float:
+        """The (jittered) delay before retry number ``attempt``."""
+        raw = min(self.base_backoff_ms * self.multiplier ** attempt,
+                  self.max_backoff_ms)
+        if self.jitter == 0.0:
+            return raw
+        unit = derive_seed(0, job_name, str(offset), str(attempt)) / 2 ** 64
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A poison record plus structured failure metadata."""
+
+    value: Any
+    offset: int
+    ts: int
+    job: str
+    error: str        # exception class name
+    reason: str       # exception message / rejection reason
+    attempts: int     # processing attempts made (1 = no retries)
+
+
+@dataclass(frozen=True)
+class FlaggedRecord:
+    """A record passed through *unprocessed* while the circuit is open.
+
+    Downstream consumers must treat the wrapped value as degraded: it
+    skipped the job's processors (including validation)."""
+
+    value: Any
+    reason: str = "circuit_open"
+
+
+class CircuitBreaker:
+    """Opens after N consecutive record failures; degrades to flagging.
+
+    States: ``closed`` (normal processing), ``open`` (records bypass the
+    processors and reach the sink as :class:`FlaggedRecord`), and
+    ``half_open`` (one trial record is processed; success closes the
+    breaker, failure re-opens it). The breaker half-opens after
+    ``recovery_records`` pass-throughs — record-count based, matching
+    the pipeline's virtual-time execution model.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, recovery_records: int = 20):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_records < 1:
+            raise ValueError("recovery_records must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_records = recovery_records
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.passthroughs = 0      # since the breaker last opened
+        self.n_opens = 0
+
+    def allow(self) -> bool:
+        """Should the next record be processed (vs passed through)?"""
+        if self.state == self.OPEN:
+            if self.passthroughs >= self.recovery_records:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def on_passthrough(self) -> None:
+        self.passthroughs += 1
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+                self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.state = self.OPEN
+            self.passthroughs = 0
+            self.n_opens += 1
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "passthroughs": self.passthroughs,
+                "n_opens": self.n_opens}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.state = state["state"]
+        self.consecutive_failures = state["consecutive_failures"]
+        self.passthroughs = state["passthroughs"]
+        self.n_opens = state["n_opens"]
+
+
+# ---------------------------------------------------------------------------
+# The job
+# ---------------------------------------------------------------------------
+
+
 class StreamJob:
-    """source topic -> processors -> sink topic."""
+    """source topic -> processors -> sink topic.
+
+    Pass ``retry_policy``, ``dead_letter`` and/or ``circuit_breaker`` to
+    run hardened (see the module docstring); without them the job keeps
+    its original fail-fast semantics — any processor exception
+    propagates to the caller of ``step()``.
+    """
 
     def __init__(self, broker: Broker, source: str, sink: str,
-                 processors: List[Processor], name: Optional[str] = None):
+                 processors: List[Processor], name: Optional[str] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 dead_letter: Optional[str] = None,
+                 circuit_breaker: Optional[CircuitBreaker] = None):
         self.broker = broker
         self.consumer: Consumer = broker.consumer(source, group=name or sink)
         self.sink: Topic = broker.topic(sink)
         self.processors = processors
         self.name = name or f"{source}->{sink}"
+        self.retry_policy = retry_policy
+        self.circuit_breaker = circuit_breaker
+        self._hardened = (retry_policy is not None or dead_letter is not None
+                          or circuit_breaker is not None)
+        if dead_letter is None and self._hardened:
+            dead_letter = f"{self.name}.dlq"
+        self.dead_letter: Optional[Topic] = (
+            broker.topic(dead_letter) if dead_letter is not None else None)
         self.n_in = 0
         self.n_out = 0
+        self.n_dead = 0
+        self.n_flagged = 0
+        self.retries_used = 0
+        #: virtual milliseconds spent in backoff (accounting only — the
+        #: pipeline never wall-clock sleeps).
+        self.backoff_ms_total = 0.0
+
+    # -- processing -----------------------------------------------------------
+
+    def _apply_chain(self, record: Record) -> List[Any]:
+        """Run the full processor chain over one record."""
+        outputs: List[Any] = [record.value]
+        for processor in self.processors:
+            next_outputs: List[Any] = []
+            for value in outputs:
+                next_outputs.extend(
+                    processor.process(Record(record.offset, record.ts, value)))
+            outputs = next_outputs
+        return outputs
+
+    def _dead_letter(self, record: Record, exc: Exception, attempts: int) -> None:
+        self.n_dead += 1
+        self.dead_letter.produce(record.ts, DeadLetter(
+            value=record.value, offset=record.offset, ts=record.ts,
+            job=self.name, error=type(exc).__name__,
+            reason=str(exc), attempts=attempts))
+
+    def _budget_left(self) -> bool:
+        budget = self.retry_policy.retry_budget
+        return budget is None or self.retries_used < budget
+
+    def _process_hardened(self, record: Record) -> None:
+        breaker = self.circuit_breaker
+        if breaker is not None and not breaker.allow():
+            # Open circuit: degrade to pass-through-with-flagging so the
+            # stream keeps moving while the fault clears.
+            self.sink.produce(record.ts, FlaggedRecord(record.value))
+            self.n_out += 1
+            self.n_flagged += 1
+            breaker.on_passthrough()
+            return
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                outputs = self._apply_chain(record)
+                break
+            except PoisonRecord as exc:
+                self._dead_letter(record, exc, attempt + 1)
+                if breaker is not None:
+                    # Poison is the record's fault, not the pipeline's:
+                    # it does not count toward opening the breaker.
+                    breaker.record_success()
+                return
+            except Exception as exc:
+                if (policy is None or attempt >= policy.max_retries
+                        or not self._budget_left()):
+                    self._dead_letter(record, exc, attempt + 1)
+                    if breaker is not None:
+                        breaker.record_failure()
+                    return
+                self.retries_used += 1
+                self.backoff_ms_total += policy.backoff_ms(
+                    self.name, record.offset, attempt)
+                attempt += 1
+        # Outputs reach the sink only after the whole chain succeeded,
+        # so retries never emit partial results.
+        for value in outputs:
+            self.sink.produce(record.ts, value)
+            self.n_out += 1
+        if breaker is not None:
+            breaker.record_success()
 
     def step(self, max_records: Optional[int] = None) -> int:
         """Process newly-available records; returns how many were read."""
         records = self.consumer.poll(max_records)
+        if self._hardened:
+            for record in records:
+                self.n_in += 1
+                self._process_hardened(record)
+            return len(records)
         for record in records:
             self.n_in += 1
-            values: Iterable[Any] = (record,)
-            outputs: List[Any] = [record.value]
-            for processor in self.processors:
-                next_outputs: List[Any] = []
-                for value in outputs:
-                    next_outputs.extend(
-                        processor.process(Record(record.offset, record.ts, value)))
-                outputs = next_outputs
-            for value in outputs:
+            for value in self._apply_chain(record):
                 self.sink.produce(record.ts, value)
                 self.n_out += 1
         return len(records)
@@ -92,3 +395,64 @@ class StreamJob:
             if n == 0:
                 return total
             total += n
+
+    # -- checkpoint / recovery ------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the job's progress as a JSON-serializable dict.
+
+        Captures the committed consumer offset, the sink/DLQ high-water
+        marks, counters, and circuit-breaker state. Restoring from this
+        dict (possibly in a fresh process over the same broker state)
+        resumes the job exactly-once: see :meth:`restore`.
+        """
+        state: Dict[str, Any] = {
+            "version": 1,
+            "job": self.name,
+            "source": self.consumer.topic.name,
+            "sink": self.sink.name,
+            "offset": self.consumer.offset,
+            "sink_end": self.sink.end_offset,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "n_dead": self.n_dead,
+            "n_flagged": self.n_flagged,
+            "retries_used": self.retries_used,
+            "backoff_ms_total": self.backoff_ms_total,
+        }
+        if self.dead_letter is not None:
+            state["dlq_end"] = self.dead_letter.end_offset
+        if self.circuit_breaker is not None:
+            state["breaker"] = self.circuit_breaker.state_dict()
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Resume from a :meth:`checkpoint` snapshot.
+
+        Rolls the sink (and DLQ) back to the checkpointed high-water
+        marks — discarding output from records processed after the
+        checkpoint but never committed — then seeks the consumer to the
+        committed offset. Replay from there is deterministic, so the
+        recovered sink is identical to an uninterrupted run's: no lost
+        records, no duplicates.
+        """
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported checkpoint version: {state.get('version')}")
+        for key, actual in (("job", self.name),
+                            ("source", self.consumer.topic.name),
+                            ("sink", self.sink.name)):
+            if state[key] != actual:
+                raise ValueError(
+                    f"checkpoint {key} mismatch: {state[key]!r} != {actual!r}")
+        self.sink.truncate(state["sink_end"])
+        if self.dead_letter is not None and "dlq_end" in state:
+            self.dead_letter.truncate(state["dlq_end"])
+        self.consumer.seek(state["offset"])
+        self.n_in = state["n_in"]
+        self.n_out = state["n_out"]
+        self.n_dead = state["n_dead"]
+        self.n_flagged = state["n_flagged"]
+        self.retries_used = state["retries_used"]
+        self.backoff_ms_total = state["backoff_ms_total"]
+        if self.circuit_breaker is not None and "breaker" in state:
+            self.circuit_breaker.restore(state["breaker"])

@@ -44,6 +44,22 @@ class Topic(Generic[T]):
     def end_offset(self) -> int:
         return len(self._log)
 
+    def truncate(self, end_offset: int) -> int:
+        """Discard records at/after ``end_offset``; returns how many.
+
+        Crash-recovery only (the analog of Kafka log truncation when a
+        restarted job rolls back to its last committed offset): a
+        restored :class:`~repro.streaming.processors.StreamJob` drops
+        sink records produced after its checkpoint before reprocessing,
+        so recovery is exactly-once rather than at-least-once. Consumers
+        of other groups positioned past ``end_offset`` must ``seek``.
+        """
+        if not 0 <= end_offset <= len(self._log):
+            raise ValueError(f"end_offset {end_offset} out of range")
+        dropped = len(self._log) - end_offset
+        del self._log[end_offset:]
+        return dropped
+
     def __len__(self) -> int:
         return len(self._log)
 

@@ -9,7 +9,12 @@ paper's join consumes, applying Moore-et-al-style inference thresholds.
 
 from repro.telescope.darknet import Darknet, TELESCOPE_COVERAGE
 from repro.telescope.backscatter import BackscatterSimulator, WindowObservation
-from repro.telescope.rsdos import InferredAttack, RSDoSClassifier, RSDoSThresholds
+from repro.telescope.rsdos import (
+    InferredAttack,
+    RSDoSClassifier,
+    RSDoSThresholds,
+    attack_problem,
+)
 from repro.telescope.feed import FeedRecord, RSDoSFeed, ppm_to_victim_pps
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "InferredAttack",
     "RSDoSClassifier",
     "RSDoSThresholds",
+    "attack_problem",
     "FeedRecord",
     "RSDoSFeed",
     "ppm_to_victim_pps",

@@ -8,6 +8,7 @@ inferred attack — the unit counted in Tables 1 and 3.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -37,6 +38,35 @@ class RSDoSThresholds:
             raise ValueError("invalid thresholds")
         if self.gap_s < FIVE_MINUTES:
             raise ValueError("gap must be at least one window")
+
+
+def attack_problem(obj: object) -> Optional[str]:
+    """Why ``obj`` is not a well-formed :class:`InferredAttack` record
+    (``None`` when it is fine).
+
+    The schema gate for every consumer of the feed: the hardened
+    streaming validator and the dataset join both use it to route
+    damaged records (truncated rows, out-of-range addresses, swapped
+    windows, NaN rates) to dead-letter/reject paths instead of letting
+    them crash an analysis or leak NaNs into one.
+    """
+    if not isinstance(obj, InferredAttack):
+        return f"not an InferredAttack: {type(obj).__name__}"
+    if not isinstance(obj.victim_ip, int) or isinstance(obj.victim_ip, bool):
+        return f"victim_ip not an int: {type(obj.victim_ip).__name__}"
+    if not 0 <= obj.victim_ip < 2 ** 32:
+        return f"victim_ip outside IPv4 space: {obj.victim_ip}"
+    if not isinstance(obj.start, int) or not isinstance(obj.end, int):
+        return "window bounds must be ints"
+    if obj.end <= obj.start:
+        return f"empty or inverted window: [{obj.start}, {obj.end})"
+    if obj.n_packets < 0:
+        return f"negative packet count: {obj.n_packets}"
+    if not math.isfinite(obj.max_ppm) or obj.max_ppm < 0:
+        return f"invalid max_ppm: {obj.max_ppm}"
+    if obj.n_unique_sources < 0 or obj.n_windows < 1:
+        return "invalid source/window counters"
+    return None
 
 
 @dataclass

@@ -193,6 +193,109 @@ class TestConfigValidation:
             ResolverConfig(deadline_ms=0)
 
 
+class TestDeadlineClamping:
+    """The attempt timers must never be allowed to overrun the overall
+    client budget (the bug: a deadline below the default 1500 ms attempt
+    timeout let one timer firing blow past the deadline)."""
+
+    def test_attempt_timeout_clamped_to_deadline(self):
+        config = ResolverConfig(deadline_ms=1000.0, attempt_timeout_ms=1500.0)
+        assert config.attempt_timeout_ms == 1000.0
+        assert config.max_timeout_ms == 1000.0
+
+    def test_max_timeout_clamped_to_deadline(self):
+        config = ResolverConfig(deadline_ms=4000.0)
+        assert config.attempt_timeout_ms == 1500.0  # already within budget
+        assert config.max_timeout_ms == 4000.0
+
+    def test_no_clamp_when_within_budget(self):
+        config = ResolverConfig()
+        assert config.attempt_timeout_ms == 1500.0
+        assert config.max_timeout_ms == 6000.0
+
+    def test_resolve_never_exceeds_tight_deadline(self):
+        resolver = make_resolver(scripted({NS_A: ServerReply.dropped(),
+                                           NS_B: ServerReply.dropped()}),
+                                 deadline_ms=1000.0)
+        result = resolver.resolve("example.com", RRType.NS,
+                                  [NS_A, NS_B], when=0)
+        assert result.status is ResponseStatus.TIMEOUT
+        assert result.rtt_ms <= 1000.0
+
+    def test_slow_answer_within_clamped_timer_still_wins(self):
+        # 800 ms answer fits the clamped 1000 ms timer; without the
+        # clamp a 1500 ms timer would also accept it, but a dropped
+        # first attempt would have burned 1500 of the 1000 ms budget.
+        resolver = make_resolver(scripted({NS_A: ServerReply.ok(800.0)}),
+                                 deadline_ms=1000.0)
+        result = resolver.resolve("example.com", RRType.NS, [NS_A], when=0)
+        assert result.status is ResponseStatus.OK
+        assert result.rtt_ms == pytest.approx(800.0)
+
+
+class TestRetransmissionEdgeCases:
+    def test_backoff_caps_at_max_timeout(self):
+        times = []
+
+        def transport(ns_ip, qname, qtype, ts):
+            times.append(ts)
+            return ServerReply.dropped()
+
+        resolver = make_resolver(transport, max_timeout_ms=3000.0,
+                                 deadline_ms=100000.0, max_attempts=6)
+        resolver.resolve("example.com", RRType.NS, [NS_A, NS_B], when=0)
+        deltas = [round(b - a, 1) for a, b in zip(times, times[1:])]
+        # 1.5 doubles once to 3.0 then stays capped there.
+        assert deltas == [1.5, 3.0, 3.0, 3.0, 3.0]
+
+    def test_deadline_expiry_mid_attempt_truncates_elapsed(self):
+        # Deadline 2000 ms: the first burned timeout costs 1500, the
+        # second timer (3000 ms) overruns the remaining 500 — the client
+        # gives up at exactly the deadline, not at 4500.
+        resolver = make_resolver(scripted({NS_A: ServerReply.dropped(),
+                                           NS_B: ServerReply.dropped()}),
+                                 deadline_ms=2000.0)
+        result = resolver.resolve("example.com", RRType.NS,
+                                  [NS_A, NS_B], when=0)
+        assert result.status is ResponseStatus.TIMEOUT
+        assert result.rtt_ms == pytest.approx(2000.0)
+        # The final truncated attempt is recorded as a drop.
+        assert not result.attempts[-1].reply.answered
+
+    def test_servfail_seen_before_deadline_expiry_wins_verdict(self):
+        # One server SERVFAILs fast, the other is dead: when the budget
+        # runs out the resolver reports SERVFAIL (unbound's verdict),
+        # not TIMEOUT.
+        resolver = make_resolver(scripted({NS_A: ServerReply.servfail(5.0),
+                                           NS_B: ServerReply.dropped()}),
+                                 seed=6, deadline_ms=3000.0)
+        result = resolver.resolve("example.com", RRType.NS,
+                                  [NS_A, NS_B], when=0)
+        assert result.status is ResponseStatus.SERVFAIL
+
+    def test_refused_counts_toward_servfail_verdict(self):
+        from repro.dns.rcode import Rcode
+
+        resolver = make_resolver(scripted({
+            NS_A: ServerReply(rtt_ms=5.0, rcode=Rcode.REFUSED)}))
+        result = resolver.resolve("example.com", RRType.NS, [NS_A], when=0)
+        assert result.status is ResponseStatus.SERVFAIL
+
+    def test_single_server_is_retried_despite_demotion(self):
+        # With one server there is no alternative: the no-immediate-
+        # repeat rule must not deadlock the pick loop.
+        calls = {"n": 0}
+
+        def transport(ns_ip, qname, qtype, ts):
+            calls["n"] += 1
+            return ServerReply.dropped() if calls["n"] < 3 else ServerReply.ok(9.0)
+
+        resolver = make_resolver(transport)
+        result = resolver.resolve("example.com", RRType.NS, [NS_A], when=0)
+        assert result.status is ResponseStatus.OK
+        assert result.n_attempts == 3
+
+
 class TestResolutionResult:
     def test_servers_tried_unique_in_order(self):
         replies = {NS_A: ServerReply.dropped(), NS_B: ServerReply.dropped(),
