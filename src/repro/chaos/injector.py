@@ -243,6 +243,31 @@ class FaultInjector:
 
     # -- the measurement store ------------------------------------------------
 
+    def wrap_store_ingest(self, store) -> None:
+        """Damage RTT rows *at ingest*: the crawl's rows reach the store
+        with NaN or negative round-trip times, modelling corrupted
+        telemetry on the wire. The store's ingest guard must reject
+        (count, not aggregate) them — and the study must then flag
+        itself degraded even when no aggregate, join record, or event
+        was otherwise touched.
+
+        A null ingest policy leaves the store unwrapped (zero overhead,
+        byte-identical clean runs).
+        """
+        policy = self.config.ingest
+        if policy.is_null:
+            return
+        rng = self.rngs.stream("ingest")
+        real_add = store.add_fast
+
+        def chaotic_add(nsset_id, ts, status, rtt_ms, dense):
+            if self._fire("ingest", "corrupt", policy.corrupt_p, rng,
+                          policy, f"nsset={nsset_id} ts={ts}"):
+                rtt_ms = float("nan") if rng.random() < 0.5 else -1.0 - rtt_ms
+            real_add(nsset_id, ts, status, rtt_ms, dense)
+
+        store.add_fast = chaotic_add
+
     def corrupt_store(self, store) -> None:
         """Damage a filled :class:`MeasurementStore` in place: whole
         missing OpenINTEL days and corrupt 5-minute buckets."""
@@ -266,7 +291,7 @@ class FaultInjector:
         """In-place damage that ``Aggregate.is_valid`` must catch."""
         style = rng.randrange(3)
         if style == 0:
-            agg._rtt_sum = float("nan")       # NaN crept into a sum column
+            agg._rtt_partials = [float("nan")]  # NaN crept into a sum column
         elif style == 1:
             agg.n = -agg.n - 1                # integer underflow on a counter
         else:

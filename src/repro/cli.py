@@ -45,6 +45,11 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="fault-schedule seed (default 0; independent "
                              "of the world --seed)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="crawl with N processes forked from the "
+                             "pre-built world (default 1 = serial); the "
+                             "results are bit-for-bit identical for any "
+                             "N, chaos runs force serial")
 
 
 def _config_from(args: argparse.Namespace) -> WorldConfig:
@@ -64,11 +69,14 @@ def _run(args: argparse.Namespace):
         chaos = ChaosConfig.preset(args.chaos, seed=args.chaos_seed)
         print(f"chaos enabled ({args.chaos}, seed {args.chaos_seed}):\n"
               f"{chaos.describe()}", file=sys.stderr)
+    workers = getattr(args, "workers", 1)
     print(f"running study {config.start} .. {config.end_exclusive} "
           f"({config.n_domains} domains, "
-          f"{config.attacks_per_month} attacks/month)...", file=sys.stderr)
+          f"{config.attacks_per_month} attacks/month"
+          + (f", {workers} crawl workers" if workers != 1 else "")
+          + ")...", file=sys.stderr)
     t0 = time.time()
-    study = run_study(config, chaos=chaos)
+    study = run_study(config, chaos=chaos, n_workers=workers)
     print(f"done in {time.time() - t0:.1f}s", file=sys.stderr)
     if study.chaos is not None:
         print(study.chaos.summary(), file=sys.stderr)

@@ -78,8 +78,15 @@ class Study:
 
     @property
     def degraded(self) -> bool:
-        """True when any pipeline stage ran on impaired inputs."""
-        return self.join.degraded or bool(self.degraded_events)
+        """True when any pipeline stage ran on impaired inputs.
+
+        Ingest-rejected measurement rows count: damaged RTT telemetry
+        that the store refused to aggregate still means the crawl ran on
+        impaired inputs, even when every surviving aggregate, join
+        record, and event is clean.
+        """
+        return (self.join.degraded or self.store.n_rejected > 0
+                or bool(self.degraded_events))
 
     @cached_property
     def monthly(self) -> MonthlySummary:
@@ -140,17 +147,28 @@ def run_study(config: Optional[WorldConfig] = None,
               world: Optional[World] = None,
               progress: Optional[Callable[[int, int], None]] = None,
               install_scenarios: bool = True,
-              chaos: Optional["ChaosConfig"] = None) -> Study:
+              chaos: Optional["ChaosConfig"] = None,
+              n_workers: int = 1) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
 
+    ``n_workers > 1`` runs the crawl — the dominant cost of every
+    figure and table — sharded across processes forked from the
+    pre-built world (:meth:`OpenIntelPlatform.run_parallel`). Results
+    are bit-for-bit identical for any worker count, so every downstream
+    analysis is unchanged; only the wall clock shrinks. Chaos runs
+    force a serial crawl (with a warning): the fault injector is
+    stateful — its burst state, fault log, and RNG streams live in the
+    parent and cannot be meaningfully merged across forked workers.
+
     ``chaos`` enables seeded fault injection on the pipeline's
     measurement surfaces (see :mod:`repro.chaos`): the crawl's transport
-    is wrapped, the feed is faulted and re-validated through a hardened
-    streaming job (poison records dead-letter with metadata), and the
-    measurement store is damaged post-crawl. Analyses then degrade —
-    flagging affected events — rather than crash. With every fault
-    probability at zero the run is byte-identical to a clean one.
+    is wrapped, measurement rows may be damaged at store ingest, the
+    feed is faulted and re-validated through a hardened streaming job
+    (poison records dead-letter with metadata), and the measurement
+    store is damaged post-crawl. Analyses then degrade — flagging
+    affected events — rather than crash. With every fault probability
+    at zero the run is byte-identical to a clean one.
     """
     if world is None:
         config = config or WorldConfig()
@@ -174,7 +192,18 @@ def run_study(config: Optional[WorldConfig] = None,
     transport = (injector.wrap_transport(world.transport)
                  if injector is not None else None)
     platform = OpenIntelPlatform(world, transport=transport)
-    store = platform.run(progress=progress)
+    if injector is not None:
+        injector.wrap_store_ingest(platform.store)
+        if n_workers != 1:
+            import warnings
+
+            warnings.warn(
+                "chaos runs force a serial crawl: the fault injector is "
+                "stateful (burst state, fault log, RNG streams), so its "
+                "schedule cannot be sharded across forked workers",
+                RuntimeWarning, stacklevel=2)
+            n_workers = 1
+    store = platform.run_parallel(n_workers, progress=progress)
     if injector is not None:
         injector.corrupt_store(store)
 

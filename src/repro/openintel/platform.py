@@ -9,11 +9,35 @@ of the domain's nameserver addresses or their /24s — by sampling the
 baseline reply directly instead of running the resolver state machine;
 the two paths are statistically identical in quiet conditions (a test
 asserts this) because an unloaded server always answers its first query.
+
+Determinism and sharding
+------------------------
+
+Every random draw a domain-day needs (nameserver choice, reply
+sampling, jitter) comes from a private stream seeded by
+``derive_seed(crawl_seed, domain_id, day)``. A domain-day is therefore
+a closed unit of work whose samples depend on nothing but its key —
+not on how many domains were crawled before it, nor in which process.
+Combined with the store's order-invariant exact RTT sums, this makes
+the crawl's output *bit-for-bit identical for any worker count*: the
+serial crawl and an N-worker sharded crawl produce equal stores (a
+test asserts it), so parallelising the dominant pipeline cost changes
+no downstream number.
+
+:meth:`OpenIntelPlatform.run_parallel` shards the domain population
+across processes forked from the parent — workers inherit the
+pre-built world and the fully-configured platform (resolver config,
+``keep_raw``, oversampling, transport) by memory, so nothing is
+rebuilt per worker and nothing is dropped on the way in.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.config import WorldConfig
 
 from repro.dns.rcode import ResponseStatus
 from repro.dns.resolver import AgnosticResolver, ResolverConfig
@@ -60,6 +84,7 @@ class OpenIntelPlatform:
         self.shard: Tuple[int, int] = (0, 1)
         self.raw: List[Measurement] = []
         self._offsets: List[int] = []
+        self._domain_seeds: List[int] = []
         self._classes: Dict[int, int] = {}
         self._quiet_rtts: Dict[int, Tuple[float, ...]] = {}
         self._prepare()
@@ -69,6 +94,13 @@ class OpenIntelPlatform:
         seed = self.world.rngs.spawn_seed("openintel-offsets")
         self._offsets = [
             derive_seed(seed, str(d.domain_id)) % DAY
+            for d in directory.domains
+        ]
+        # Root of the per-(domain, day) streams; the per-domain prefix
+        # is hashed once here so the hot loop derives one level only.
+        crawl_seed = self.world.rngs.spawn_seed("openintel-crawl")
+        self._domain_seeds = [
+            derive_seed(crawl_seed, str(d.domain_id))
             for d in directory.domains
         ]
         for nsset_id, ips in directory.nssets.items():
@@ -115,87 +147,181 @@ class OpenIntelPlatform:
         directory = self.world.directory
         domains = directory.domains
         offsets = self._offsets
+        domain_seeds = self._domain_seeds
         classes = self._classes
         quiet_rtts = self._quiet_rtts
         store = self.store
-        rng_random = self.rng.random
-        rng_expo = self.rng.expovariate
         dense_days_of = self.world.dense_days_of
         deadline = self.config.deadline_ms
-        n_days = max(1, (end - start) // DAY)
+        keep_raw = self.keep_raw
+        raw = self.raw
+        span = end - start
+        # Count exactly the windows iter_days yields: a partial final
+        # day is still a crawled window, so round up, not down.
+        n_days = (span + DAY - 1) // DAY if span > 0 else 0
 
-        shard, n_shards = self.shard
-        for day_idx, day in enumerate(iter_days(start, end)):
-            if progress is not None:
-                progress(day_idx, n_days)
-            for record in (domains if n_shards == 1
-                           else domains[shard::n_shards]):
-                domain_id = record.domain_id
-                nsset_id = record.nsset_id
-                ts = day + offsets[domain_id]
-                dense = day in dense_days_of(nsset_id)
-                if not dense:
-                    klass = classes[nsset_id]
-                    if klass <= _ANSWERING_TARGET:  # _NORMAL or answering
-                        rtts = quiet_rtts[nsset_id]
-                        base = rtts[int(rng_random() * len(rtts))]
-                        store.add_fast(nsset_id, ts, ResponseStatus.OK,
-                                       base + rng_expo(0.5), False)
-                        continue
-                    if klass == _DEAD:
-                        store.add_fast(nsset_id, ts, ResponseStatus.TIMEOUT,
-                                       deadline, False)
-                        continue
-                n_queries = self.dense_oversampling if dense else 1
-                stride = DAY // n_queries
-                for j in range(n_queries):
-                    ts_j = day + (offsets[domain_id] + j * stride) % DAY
-                    m = self.measure_domain(domain_id, ts_j)
-                    store.add_fast(nsset_id, ts_j, m.status, m.rtt_ms, dense)
-                    if self.keep_raw:
-                        self.raw.append(m)
+        # One private stream, reseeded per (domain, day): samples depend
+        # only on the work unit's key, never on crawl order or sharding.
+        day_rng = random.Random()
+        rng_random = day_rng.random
+        rng_expo = day_rng.expovariate
+        reseed = day_rng.seed
+        resolver = AgnosticResolver(self.transport, day_rng, self.config)
+        restore = self.world.set_transport_rng(day_rng)
+        try:
+            shard, n_shards = self.shard
+            for day_idx, day in enumerate(iter_days(start, end)):
+                if progress is not None:
+                    progress(day_idx, n_days)
+                day_name = str(day)
+                for record in (domains if n_shards == 1
+                               else domains[shard::n_shards]):
+                    domain_id = record.domain_id
+                    nsset_id = record.nsset_id
+                    reseed(derive_seed(domain_seeds[domain_id], day_name))
+                    dense = day in dense_days_of(nsset_id)
+                    if not dense:
+                        klass = classes[nsset_id]
+                        ts = day + offsets[domain_id]
+                        if klass <= _ANSWERING_TARGET:  # _NORMAL or answering
+                            rtts = quiet_rtts[nsset_id]
+                            base = rtts[int(rng_random() * len(rtts))]
+                            store.add_fast(nsset_id, ts, ResponseStatus.OK,
+                                           base + rng_expo(0.5), False)
+                            continue
+                        if klass == _DEAD:
+                            store.add_fast(nsset_id, ts, ResponseStatus.TIMEOUT,
+                                           deadline, False)
+                            continue
+                    n_queries = self.dense_oversampling if dense else 1
+                    stride = DAY // n_queries
+                    ns_ips = record.delegation.nameserver_ips
+                    for j in range(n_queries):
+                        ts_j = day + (offsets[domain_id] + j * stride) % DAY
+                        result = resolver.resolve(record.name, RRType.NS,
+                                                  ns_ips, ts_j)
+                        store.add_fast(nsset_id, ts_j, result.status,
+                                       result.rtt_ms, dense)
+                        if keep_raw:
+                            raw.append(Measurement(
+                                ts=ts_j, domain_id=domain_id,
+                                nsset_id=nsset_id, status=result.status,
+                                rtt_ms=result.rtt_ms,
+                                n_attempts=result.n_attempts))
+        finally:
+            self.world.set_transport_rng(restore)
         return store
 
+    # -- the multi-process crawl ----------------------------------------------
+
+    def run_parallel(self, n_workers: int = 4, start: Optional[int] = None,
+                     end: Optional[int] = None,
+                     progress: Optional[Callable[[int, int], None]] = None
+                     ) -> MeasurementStore:
+        """Crawl with ``n_workers`` processes forked from this platform.
+
+        Workers inherit the pre-built world and this platform's full
+        configuration (resolver config, ``keep_raw``, oversampling,
+        transport) through ``fork`` — nothing is rebuilt per worker —
+        and each crawls an interleaved shard of the domain population.
+        The parent folds the per-shard stores into :attr:`store`.
+
+        The result is **bit-for-bit identical for any** ``n_workers``
+        (including the serial ``run``): per-(domain, day) derived RNG
+        streams make each shard's samples order-independent, and the
+        store's exact sums make the merge order-independent.
+
+        ``progress`` is reported at shard granularity —
+        ``progress(shards_done, n_workers)`` after each worker finishes
+        (the serial path reports per day). With ``keep_raw``, the merged
+        :attr:`raw` rows are sorted by ``(ts, domain_id)``, which is
+        likewise invariant to the worker count.
+
+        Stateful transports (e.g. the chaos injector's wrapper) must use
+        the serial crawl: their draws and fault logs live in the parent
+        and cannot be meaningfully merged across forked workers —
+        :func:`repro.core.pipeline.run_study` enforces this.
+
+        Platforms without the ``fork`` start method fall back to the
+        serial crawl.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if n_workers == 1:
+            return self.run(start, end, progress)
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            return self.run(start, end, progress)
+        global _FORK_PARENT
+        jobs = [(shard, n_workers, start, end) for shard in range(n_workers)]
+        _FORK_PARENT = self
+        try:
+            with multiprocessing.get_context("fork").Pool(n_workers) as pool:
+                for done, (store, raw) in enumerate(
+                        pool.imap(_crawl_shard, jobs), start=1):
+                    self.store.merge(store)
+                    self.raw.extend(raw)
+                    if progress is not None:
+                        progress(done, n_workers)
+        finally:
+            _FORK_PARENT = None
+        if self.keep_raw:
+            self.raw.sort(key=lambda m: (m.ts, m.domain_id))
+        return self.store
+
 
 # ---------------------------------------------------------------------------
-# Multi-process crawl
+# Multi-process crawl plumbing
 # ---------------------------------------------------------------------------
 
-
-def _crawl_shard(args) -> MeasurementStore:
-    """Worker entry point: rebuild the (deterministic) world and crawl
-    one shard of the domain population."""
-    from repro.world.simulation import build_world
-
-    config, shard, n_shards, dense_oversampling = args
-    world = build_world(config)
-    platform = OpenIntelPlatform(world,
-                                 dense_oversampling=dense_oversampling)
-    platform.shard = (shard, n_shards)
-    return platform.run()
+#: The platform being sharded; set by :meth:`run_parallel` immediately
+#: before forking so workers find it in their inherited memory.
+_FORK_PARENT: Optional[OpenIntelPlatform] = None
 
 
-def run_parallel(config, n_workers: int = 4,
-                 dense_oversampling: int = 6) -> MeasurementStore:
-    """Run the daily crawl across ``n_workers`` processes.
+def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement]]:
+    """Worker entry point: crawl one shard of the domain population.
 
-    Each worker rebuilds the seeded world (worlds are deterministic, so
-    every process sees identical ground truth) and crawls an interleaved
-    shard of the domain population; the parent merges the aggregate
-    stores. Deterministic for a fixed ``n_workers``; statistically —
-    but not bit-for-bit — equivalent to the serial crawl, because RNG
-    draw order differs per shard.
+    Runs in a child forked from the parent, so ``_FORK_PARENT`` *is*
+    the parent's fully-configured platform (same world, resolver
+    config, ``keep_raw``, oversampling, transport) — only the shard
+    assignment and a fresh output store are local to this process.
     """
-    import multiprocessing
+    shard, n_shards, start, end = args
+    platform = _FORK_PARENT
+    assert platform is not None, "_crawl_shard outside run_parallel"
+    platform.shard = (shard, n_shards)
+    platform.store = MeasurementStore()
+    platform.raw = []
+    store = platform.run(start, end)
+    return store, platform.raw
 
+
+def run_parallel(config_or_world: Union[World, "WorldConfig"],
+                 n_workers: int = 4,
+                 config: Optional[ResolverConfig] = None,
+                 keep_raw: bool = False,
+                 dense_oversampling: int = 6,
+                 transport=None) -> MeasurementStore:
+    """Build (or accept) a world, then crawl it with ``n_workers``.
+
+    Convenience wrapper over :meth:`OpenIntelPlatform.run_parallel`:
+    the world is built **once** in the parent and shared with workers
+    via ``fork``, and the platform surface matches the serial
+    constructor exactly (``config``/``keep_raw``/``dense_oversampling``/
+    ``transport``). Output is bit-for-bit identical for any
+    ``n_workers``.
+    """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    if n_workers == 1:
-        return _crawl_shard((config, 0, 1, dense_oversampling))
-    jobs = [(config, shard, n_workers, dense_oversampling)
-            for shard in range(n_workers)]
-    combined = MeasurementStore()
-    with multiprocessing.get_context("fork").Pool(n_workers) as pool:
-        for store in pool.map(_crawl_shard, jobs):
-            combined.merge(store)
-    return combined
+    if isinstance(config_or_world, World):
+        world = config_or_world
+    else:
+        from repro.world.simulation import build_world
+
+        world = build_world(config_or_world)
+    platform = OpenIntelPlatform(world, config=config, keep_raw=keep_raw,
+                                 dense_oversampling=dense_oversampling,
+                                 transport=transport)
+    return platform.run_parallel(n_workers)

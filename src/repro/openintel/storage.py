@@ -7,6 +7,15 @@ the authors used Spark for; this store instead aggregates on ingest —
 daily everywhere (for the day-before baselines) and at 5-minute
 granularity on *dense* days (days on which an attack touches the NSSet),
 which is provably sufficient for every metric in the paper's analysis.
+
+RTT sums are kept as exact Shewchuk expansions (``math.fsum``'s
+algorithm), so an aggregate's sum is a function of the *multiset* of
+ingested values only — never of their arrival order. That property is
+what lets the sharded multi-process crawl merge per-worker stores into
+a result bit-for-bit identical to the serial crawl for any worker
+count: every other column (counts, min, max) is trivially
+order-invariant, and the sum column would otherwise drift by an ulp
+whenever shards interleave differently.
 """
 
 from __future__ import annotations
@@ -19,16 +28,41 @@ from repro.openintel.records import Measurement
 from repro.util.timeutil import DAY, FIVE_MINUTES, day_start, window_start
 
 
+def _exact_add(partials: List[float], x: float) -> None:
+    """Fold ``x`` into a Shewchuk partials expansion, in place.
+
+    The expansion represents its sum exactly (each partial carries
+    rounding error the ones before it could not), so the represented
+    value is invariant to insertion order; ``math.fsum`` over the
+    partials yields the correctly-rounded total. In the common case the
+    expansion holds a single element and this costs one two-sum.
+    """
+    i = 0
+    for j in range(len(partials)):
+        y = partials[j]
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    del partials[i:]
+    partials.append(x)
+
+
 class Aggregate:
     """Per-(NSSet, interval) statistics: the §4.1 tuple."""
 
-    __slots__ = ("n", "ok_n", "_rtt_sum", "rtt_min", "rtt_max",
+    __slots__ = ("n", "ok_n", "_rtt_partials", "rtt_min", "rtt_max",
                  "timeout_n", "servfail_n", "other_err_n")
 
     def __init__(self) -> None:
         self.n = 0
         self.ok_n = 0
-        self._rtt_sum = 0.0
+        #: exact expansion of the OK-RTT sum (see module docstring).
+        self._rtt_partials: List[float] = []
         self.rtt_min = float("inf")
         self.rtt_max = 0.0
         self.timeout_n = 0
@@ -39,7 +73,7 @@ class Aggregate:
         self.n += 1
         if status is ResponseStatus.OK:
             self.ok_n += 1
-            self._rtt_sum += rtt_ms
+            _exact_add(self._rtt_partials, rtt_ms)
             if rtt_ms < self.rtt_min:
                 self.rtt_min = rtt_ms
             if rtt_ms > self.rtt_max:
@@ -54,12 +88,34 @@ class Aggregate:
     def merge(self, other: "Aggregate") -> None:
         self.n += other.n
         self.ok_n += other.ok_n
-        self._rtt_sum += other._rtt_sum
+        for p in other._rtt_partials:
+            _exact_add(self._rtt_partials, p)
         self.rtt_min = min(self.rtt_min, other.rtt_min)
         self.rtt_max = max(self.rtt_max, other.rtt_max)
         self.timeout_n += other.timeout_n
         self.servfail_n += other.servfail_n
         self.other_err_n += other.other_err_n
+
+    def copy(self) -> "Aggregate":
+        """An independent deep copy (no shared partials list)."""
+        dup = Aggregate()
+        dup.n = self.n
+        dup.ok_n = self.ok_n
+        dup._rtt_partials = list(self._rtt_partials)
+        dup.rtt_min = self.rtt_min
+        dup.rtt_max = self.rtt_max
+        dup.timeout_n = self.timeout_n
+        dup.servfail_n = self.servfail_n
+        dup.other_err_n = self.other_err_n
+        return dup
+
+    @property
+    def rtt_sum(self) -> float:
+        """Correctly-rounded sum of OK RTTs — order-invariant."""
+        try:
+            return math.fsum(self._rtt_partials)
+        except (OverflowError, ValueError):  # inf - inf in a damaged sum
+            return float("nan")
 
     @property
     def errors(self) -> int:
@@ -76,7 +132,7 @@ class Aggregate:
     @property
     def avg_rtt(self) -> Optional[float]:
         """Mean RTT over answered (OK) queries; None when all failed."""
-        return self._rtt_sum / self.ok_n if self.ok_n else None
+        return self.rtt_sum / self.ok_n if self.ok_n else None
 
     @property
     def is_valid(self) -> bool:
@@ -92,13 +148,29 @@ class Aggregate:
         if self.ok_n + self.timeout_n + self.servfail_n + self.other_err_n \
                 != self.n:
             return False
-        if not math.isfinite(self._rtt_sum):
+        if not math.isfinite(self.rtt_sum):
             return False
         if self.ok_n and (not math.isfinite(self.rtt_min)
                           or not math.isfinite(self.rtt_max)
                           or self.rtt_min > self.rtt_max):
             return False
         return True
+
+    def state(self) -> Tuple:
+        """The aggregate's observable columns, for exact comparison."""
+        return (self.n, self.ok_n, self.rtt_sum, self.rtt_min,
+                self.rtt_max, self.timeout_n, self.servfail_n,
+                self.other_err_n)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Aggregate):
+            return NotImplemented
+        # NaN columns (chaos-corrupted sums) compare equal to themselves
+        # so two identically-damaged stores are still equal.
+        return all(a == b or (a != a and b != b)
+                   for a, b in zip(self.state(), other.state()))
+
+    __hash__ = None  # mutable; equality is by value
 
     def __repr__(self) -> str:
         avg = f"{self.avg_rtt:.1f}ms" if self.ok_n else "n/a"
@@ -211,18 +283,38 @@ class MeasurementStore:
         return self.daily.pop((nsset_id, day_start(day)), None) is not None
 
     def merge(self, other: "MeasurementStore") -> None:
-        """Fold another store's aggregates into this one (sharded runs)."""
+        """Fold another store's aggregates into this one (sharded runs).
+
+        Newly-adopted aggregates are *copied*: adopting by reference
+        would alias the donor's objects, so a later ``add``/``merge``
+        into the combined store would silently mutate the donor too.
+        """
         for key, agg in other.daily.items():
             mine = self.daily.get(key)
             if mine is None:
-                self.daily[key] = agg
+                self.daily[key] = agg.copy()
             else:
                 mine.merge(agg)
         for key, agg in other.buckets.items():
             mine = self.buckets.get(key)
             if mine is None:
-                self.buckets[key] = agg
+                self.buckets[key] = agg.copy()
             else:
                 mine.merge(agg)
         self.n_measurements += other.n_measurements
         self.n_rejected += other.n_rejected
+
+    def __eq__(self, other: object) -> bool:
+        """Exact (bit-for-bit observable) store equality.
+
+        Compares every aggregate's columns with exact float equality —
+        the contract the worker-count-invariance tests assert.
+        """
+        if not isinstance(other, MeasurementStore):
+            return NotImplemented
+        return (self.n_measurements == other.n_measurements
+                and self.n_rejected == other.n_rejected
+                and self.daily == other.daily
+                and self.buckets == other.buckets)
+
+    __hash__ = None  # mutable; equality is by value

@@ -32,6 +32,17 @@ def derive_seed(root_seed: int, *names: str) -> int:
     return int.from_bytes(h.digest(), "big")
 
 
+def derive_rng(root_seed: int, *names: str) -> random.Random:
+    """A fresh ``random.Random`` seeded from ``derive_seed(root_seed, *names)``.
+
+    The workhorse of worker-count-invariant parallelism: a unit of work
+    keyed by, say, ``(seed, domain_id, day)`` draws from its own derived
+    stream, so its samples are identical no matter which process runs it
+    or how many units ran before it.
+    """
+    return random.Random(derive_seed(root_seed, *names))
+
+
 class RngStreams:
     """A family of independent :class:`random.Random` streams.
 

@@ -214,6 +214,34 @@ class TestStoreFaults:
         assert store.daily == daily and store.buckets == buckets
 
 
+class TestIngestFaults:
+    def test_corrupted_rows_rejected_and_counted(self):
+        store = MeasurementStore()
+        config = ChaosConfig(seed=9, ingest=FaultPolicy(corrupt_p=0.5))
+        injector = FaultInjector(config)
+        injector.wrap_store_ingest(store)
+        for i in range(200):
+            store.add_fast(1, i * 60, ResponseStatus.OK, 20.0, False)
+        # Every fired fault makes the RTT NaN or negative, and the
+        # ingest guard must reject exactly those rows — aggregates stay
+        # clean, nothing is silently averaged in.
+        assert store.n_rejected > 0
+        assert store.n_rejected == injector.counts[("ingest", "corrupt")]
+        assert store.n_measurements + store.n_rejected == 200
+        for agg in store.daily.values():
+            assert agg.is_valid
+
+    def test_null_ingest_policy_leaves_store_unwrapped(self):
+        store = MeasurementStore()
+        FaultInjector(ChaosConfig(seed=9)).wrap_store_ingest(store)
+        assert "add_fast" not in vars(store)
+
+    def test_ingest_surface_reported(self):
+        config = ChaosConfig(seed=9, ingest=FaultPolicy(corrupt_p=0.25))
+        assert not config.is_null
+        assert "ingest" in config.describe()
+
+
 class TestHardenedFeed:
     def test_poison_records_dead_lettered_with_metadata(self):
         attacks = [make_attack(victim_ip=i + 1, start=i * 100,

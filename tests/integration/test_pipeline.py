@@ -98,3 +98,65 @@ class TestStudyPipeline:
         registry = tiny_study.world.directory.nssets
         for event in tiny_study.events:
             assert registry.ips_of(event.nsset_id)
+
+
+class TestParallelStudyEquivalence:
+    """run_study(n_workers=N) must change wall clock only — never data."""
+
+    @pytest.fixture(scope="class")
+    def serial(self, tiny_config):
+        return run_study(tiny_config)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_worker_count_changes_nothing(self, tiny_config, serial,
+                                          n_workers):
+        study = run_study(tiny_config, n_workers=n_workers)
+        assert study.store == serial.store  # bit-for-bit
+        assert len(study.events) == len(serial.events)
+        for ours, theirs in zip(study.events, serial.events):
+            assert ours.nsset_id == theirs.nsset_id
+            assert ours.attack == theirs.attack
+            assert ours.series == theirs.series
+        assert study.monthly == serial.monthly
+        assert study.failures == serial.failures
+        assert study.impact == serial.impact
+
+    def test_parallel_progress_callback(self, tiny_config):
+        ticks = []
+        run_study(tiny_config, n_workers=2,
+                  progress=lambda done, n: ticks.append((done, n)))
+        assert ticks == [(1, 2), (2, 2)]
+
+    def test_chaos_forces_serial_with_warning(self, tiny_config):
+        from repro import ChaosConfig
+
+        chaos = ChaosConfig.preset("light", seed=1)
+        with pytest.warns(RuntimeWarning, match="serial"):
+            study = run_study(tiny_config, chaos=chaos, n_workers=4)
+        assert study.chaos is not None
+        # The forced-serial chaos run must equal the explicit serial one.
+        serial = run_study(tiny_config, chaos=ChaosConfig.preset(
+            "light", seed=1))
+        assert study.store == serial.store
+
+
+class TestDegradedPredicate:
+    def test_rejected_rows_flag_the_study(self, tiny_config):
+        # A chaos schedule that ONLY damages RTT rows at store ingest:
+        # no feed faults, no aggregate corruption, no transport faults —
+        # so the join is clean and no event is degraded. The rejected
+        # rows alone must still flag the study (PR 1's contract: "True
+        # when any pipeline stage ran on impaired inputs").
+        from repro import ChaosConfig
+        from repro.chaos.policy import FaultPolicy
+
+        chaos = ChaosConfig(seed=3, ingest=FaultPolicy(corrupt_p=0.01))
+        study = run_study(tiny_config, chaos=chaos)
+        assert study.store.n_rejected > 0
+        assert not study.join.degraded
+        assert not study.degraded_events
+        assert study.degraded
+
+    def test_clean_run_not_degraded(self, tiny_study):
+        assert tiny_study.store.n_rejected == 0
+        assert not tiny_study.degraded

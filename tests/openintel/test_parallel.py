@@ -1,66 +1,142 @@
-"""Tests for the multi-process crawl."""
+"""Tests for the multi-process crawl and its worker-count invariance."""
 
 import pytest
 
-from repro.openintel.platform import OpenIntelPlatform, run_parallel
-from repro.world import WorldConfig, build_world
+from repro.dns.resolver import ResolverConfig
+from repro.openintel import platform as platform_mod
+from repro.openintel.platform import (
+    OpenIntelPlatform,
+    _crawl_shard,
+    run_parallel,
+)
+from repro.util.timeutil import DAY
 
 
 @pytest.fixture(scope="module")
-def parallel_store(tiny_config):
-    return run_parallel(tiny_config, n_workers=2)
+def serial_store(tiny_world):
+    return OpenIntelPlatform(tiny_world).run()
 
 
-class TestRunParallel:
-    def test_measurement_count_matches_serial(self, tiny_config,
-                                              parallel_store):
-        serial = OpenIntelPlatform(build_world(tiny_config)).run()
-        assert parallel_store.n_measurements == serial.n_measurements
+@pytest.fixture(scope="module")
+def parallel_store(tiny_world):
+    # The world is built once and shared with the workers via fork.
+    return run_parallel(tiny_world, n_workers=2)
 
-    def test_day_aggregates_cover_same_keys(self, tiny_config,
+
+class TestWorkerCountInvariance:
+    def test_two_workers_bit_for_bit_equal_serial(self, serial_store,
+                                                  parallel_store):
+        # The tentpole contract: not statistically close — identical.
+        assert parallel_store == serial_store
+
+    def test_four_workers_bit_for_bit_equal_serial(self, tiny_world,
+                                                   serial_store):
+        assert run_parallel(tiny_world, n_workers=4) == serial_store
+
+    def test_more_workers_than_domains_is_harmless(self, tiny_world):
+        start = tiny_world.timeline.start
+        platform = OpenIntelPlatform(tiny_world)
+        serial = platform.run(start, start + DAY)
+        wide = OpenIntelPlatform(tiny_world).run_parallel(
+            3, start, start + DAY)
+        assert wide == serial
+
+    def test_serial_crawl_is_repeatable(self, tiny_world, serial_store):
+        # Per-(domain, day) streams mean the crawl no longer consumes
+        # the world's shared RNG state: same world, same store.
+        assert OpenIntelPlatform(tiny_world).run() == serial_store
+
+    def test_every_aggregate_column_matches(self, serial_store,
                                             parallel_store):
-        serial = OpenIntelPlatform(build_world(tiny_config)).run()
-        assert set(parallel_store.daily) == set(serial.daily)
-        for key in serial.daily:
-            assert parallel_store.daily[key].n == serial.daily[key].n
+        for key, agg in serial_store.daily.items():
+            other = parallel_store.daily[key]
+            assert other.state() == agg.state(), key
+        for key, agg in serial_store.buckets.items():
+            other = parallel_store.buckets[key]
+            assert other.state() == agg.state(), key
 
-    def test_statistically_equivalent_baselines(self, tiny_config,
-                                                parallel_store):
-        # RNG draw order differs per shard, so values are not identical —
-        # but quiet-day baselines must agree closely.
-        # Compare well-sampled QUIET days only: attack-day RTTs are
-        # retry-burn dominated (bimodal with huge variance), and small
-        # aggregates are noisy when an NSSet mixes near/far servers.
-        world = build_world(tiny_config)
-        serial = OpenIntelPlatform(world).run()
-        compared = 0
-        for (nsset_id, day), agg in serial.daily.items():
-            if world.is_dense_day(nsset_id, day):
-                continue
-            other = parallel_store.daily[(nsset_id, day)]
-            if agg.ok_n >= 60 and other.ok_n >= 60:
-                assert other.avg_rtt == pytest.approx(agg.avg_rtt, rel=0.25)
-                compared += 1
-        assert compared > 20
-
-    def test_single_worker_equals_serial_shard(self, tiny_config):
-        one = run_parallel(tiny_config, n_workers=1)
-        serial = OpenIntelPlatform(build_world(tiny_config)).run()
-        assert one.n_measurements == serial.n_measurements
-
-    def test_deterministic_for_fixed_workers(self, tiny_config,
-                                             parallel_store):
-        again = run_parallel(tiny_config, n_workers=2)
-        assert again.n_measurements == parallel_store.n_measurements
-        sample = list(parallel_store.daily)[:50]
-        for key in sample:
-            assert again.daily[key].n == parallel_store.daily[key].n
-            a, b = again.daily[key].avg_rtt, parallel_store.daily[key].avg_rtt
-            if a is None or b is None:
-                assert a == b
-            else:
-                assert a == pytest.approx(b)
+    def test_single_worker_is_the_serial_path(self, tiny_world,
+                                              serial_store):
+        assert run_parallel(tiny_world, n_workers=1) == serial_store
 
     def test_rejects_bad_worker_count(self, tiny_config):
         with pytest.raises(ValueError):
             run_parallel(tiny_config, n_workers=0)
+
+
+class TestWorkerConfigFidelity:
+    """The forked worker platform must match the serial one exactly."""
+
+    CUSTOM = ResolverConfig(attempt_timeout_ms=900.0, max_timeout_ms=3600.0,
+                            max_attempts=4, deadline_ms=9000.0)
+
+    def test_worker_inherits_full_configuration(self, tiny_world):
+        platform = OpenIntelPlatform(tiny_world, config=self.CUSTOM,
+                                     keep_raw=True, dense_oversampling=3)
+        platform_mod._FORK_PARENT = platform
+        try:
+            # Run the worker entry point in-process: with fork semantics
+            # the worker platform *is* the parent object, so every
+            # setting the serial crawl would use is what the shard uses.
+            start = tiny_world.timeline.start
+            store, raw = _crawl_shard((0, 2, start, start + DAY))
+        finally:
+            platform_mod._FORK_PARENT = None
+        worker_platform = platform  # fork: same object in the child
+        assert worker_platform.config == self.CUSTOM
+        assert worker_platform.keep_raw is True
+        assert worker_platform.dense_oversampling == 3
+        assert store.n_measurements > 0
+        assert raw, "keep_raw must be honoured by the shard"
+
+    def test_non_default_settings_survive_the_fork(self, tiny_world):
+        # End-to-end: a custom resolver config changes measured values
+        # (shorter deadline => different timeout RTTs), and the parallel
+        # crawl must reproduce the serial run of the *same* settings.
+        start = tiny_world.timeline.start
+        end = start + 2 * DAY
+        serial = OpenIntelPlatform(
+            tiny_world, config=self.CUSTOM, keep_raw=True,
+            dense_oversampling=3).run(start, end)
+        parallel_platform = OpenIntelPlatform(
+            tiny_world, config=self.CUSTOM, keep_raw=True,
+            dense_oversampling=3)
+        parallel = parallel_platform.run_parallel(2, start, end)
+        assert parallel == serial
+        # ... and the settings demonstrably mattered: a default-config
+        # crawl of the same window differs (oversampling changes the
+        # measurement count), so the workers cannot have silently
+        # rebuilt a default platform.
+        default_serial = OpenIntelPlatform(tiny_world).run(start, end)
+        assert parallel.n_measurements != default_serial.n_measurements
+
+    def test_keep_raw_rows_invariant_to_worker_count(self, tiny_world):
+        start = tiny_world.timeline.start
+        end = start + 2 * DAY
+        serial_platform = OpenIntelPlatform(tiny_world, keep_raw=True)
+        serial_platform.run(start, end)
+        parallel_platform = OpenIntelPlatform(tiny_world, keep_raw=True)
+        parallel_platform.run_parallel(2, start, end)
+        key = lambda m: (m.ts, m.domain_id)  # noqa: E731
+        assert sorted(serial_platform.raw, key=key) == parallel_platform.raw
+
+
+class TestParallelMechanics:
+    def test_progress_reports_shard_completion(self, tiny_world):
+        seen = []
+        platform = OpenIntelPlatform(tiny_world)
+        start = tiny_world.timeline.start
+        platform.run_parallel(2, start, start + DAY,
+                              progress=lambda done, n: seen.append((done, n)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_parent_store_accumulates(self, tiny_world):
+        platform = OpenIntelPlatform(tiny_world)
+        start = tiny_world.timeline.start
+        result = platform.run_parallel(2, start, start + DAY)
+        assert result is platform.store
+        assert result.n_measurements > 0
+
+    def test_method_rejects_bad_worker_count(self, tiny_world):
+        with pytest.raises(ValueError):
+            OpenIntelPlatform(tiny_world).run_parallel(0)

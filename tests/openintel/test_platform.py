@@ -121,6 +121,18 @@ class TestCrawl:
                      progress=lambda i, n: seen.append((i, n)))
         assert seen == [(0, 2), (1, 2)]
 
+    def test_progress_counts_partial_final_window(self, tiny_world):
+        # Regression: floor division undercounted a non-day-aligned end,
+        # so the callback reported day_idx == n_days (e.g. (3, 3) on a
+        # 3.5-day range) even though iter_days crawls the partial day.
+        seen = []
+        platform = OpenIntelPlatform(tiny_world)
+        start = tiny_world.timeline.start
+        platform.run(start, start + 3 * DAY + DAY // 2,
+                     progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(0, 4), (1, 4), (2, 4), (3, 4)]
+        assert all(i < n for i, n in seen)
+
     def test_keep_raw(self, tiny_world):
         platform = OpenIntelPlatform(tiny_world, keep_raw=True)
         start = parse_ts("2021-03-01")  # dense day for TransIP

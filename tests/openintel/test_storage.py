@@ -77,6 +77,53 @@ class TestAggregate:
         assert a.avg_rtt == 20.0
         assert a.timeout_n == 1
 
+    def test_copy_is_independent(self):
+        a = Aggregate()
+        a.add(ResponseStatus.OK, 10.0)
+        dup = a.copy()
+        assert dup == a
+        dup.add(ResponseStatus.OK, 99.0)
+        assert a.n == 1
+        assert a.avg_rtt == 10.0
+
+    def test_sum_is_order_invariant(self):
+        # The worker-count-invariance property at its root: the exact
+        # expansion makes the sum a function of the value multiset only.
+        # These values are chosen so naive left-to-right float addition
+        # gives different ulps for different orders.
+        values = [1e16, 1.1, -1e16, 2.2, 3.3, 1e-3, 7.7, 1e12, -1e12]
+        orders = [values, list(reversed(values)),
+                  sorted(values), sorted(values, key=abs, reverse=True)]
+        sums = set()
+        for order in orders:
+            agg = Aggregate()
+            for v in order:
+                if v >= 0:
+                    agg.add(ResponseStatus.OK, v)
+            for v in order:
+                if v < 0:
+                    # negative partials cannot enter via add (ingest
+                    # rejects them); exercise merge instead
+                    other = Aggregate()
+                    other.ok_n += 1
+                    other.n += 1
+                    other._rtt_partials.append(v)
+                    agg.merge(other)
+            sums.add(agg.rtt_sum)
+        assert len(sums) == 1
+
+    def test_merge_order_invariant(self):
+        import math
+        parts = [0.1] * 10 + [1e15, 3.7, 1e-8]
+        a, b, c = Aggregate(), Aggregate(), Aggregate()
+        for i, v in enumerate(parts):
+            (a, b, c)[i % 3].add(ResponseStatus.OK, v)
+        left = Aggregate()
+        left.merge(a); left.merge(b); left.merge(c)
+        right = Aggregate()
+        right.merge(c); right.merge(b); right.merge(a)
+        assert left.rtt_sum == right.rtt_sum == math.fsum(parts)
+
 
 class TestMeasurementStore:
     def _store(self):
@@ -135,6 +182,44 @@ class TestMeasurementStore:
         assert a.n_measurements == 6
         assert a.day_aggregate(7, 0).n == 4
         assert a.bucket_aggregate(7, DAY + 500).n == 2
+
+    def test_merge_does_not_alias_donor_aggregates(self):
+        # Regression: merge used to adopt the donor's Aggregate objects
+        # by reference for new keys, so a later add into the combined
+        # store silently mutated the donor too.
+        donor = self._store()
+        combined = MeasurementStore()
+        combined.merge(donor)
+        before = donor.day_aggregate(7, 0).state()
+        combined.add_fast(7, 1500, ResponseStatus.OK, 500.0, False)
+        combined.day_aggregate(7, 0).add(ResponseStatus.TIMEOUT, 1.0)
+        assert donor.day_aggregate(7, 0).state() == before
+        # ... and the same for dense buckets.
+        bucket_before = donor.bucket_aggregate(7, DAY + 500).state()
+        combined.add_fast(7, DAY + 510, ResponseStatus.OK, 9.0, True)
+        assert donor.bucket_aggregate(7, DAY + 500).state() == bucket_before
+
+    def test_merge_into_populated_store_leaves_donor_alone(self):
+        a = self._store()
+        b = self._store()
+        before = b.day_aggregate(7, 0).state()
+        a.merge(b)
+        a.day_aggregate(7, 0).add(ResponseStatus.OK, 123.0)
+        assert b.day_aggregate(7, 0).state() == before
+
+    def test_store_equality(self):
+        assert self._store() == self._store()
+        other = self._store()
+        other.add_fast(7, 3000, ResponseStatus.OK, 11.0, False)
+        assert self._store() != other
+
+    def test_rejected_rows_counted_not_aggregated(self):
+        store = self._store()
+        store.add_fast(7, 4000, ResponseStatus.OK, float("nan"), False)
+        store.add_fast(7, 4000, ResponseStatus.OK, -5.0, False)
+        assert store.n_rejected == 2
+        assert store.n_measurements == 3
+        assert store.day_aggregate(7, 0).is_valid
 
     def test_separate_nssets(self):
         store = MeasurementStore()
