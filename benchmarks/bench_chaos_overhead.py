@@ -83,9 +83,17 @@ def render(result):
     return table.render()
 
 
-def test_chaos_overhead(transip_study, emit):
+def test_chaos_overhead(transip_study, emit, emit_json):
     result = measure(transip_study)
     emit("chaos_overhead", render(result))
+    emit_json("chaos_overhead", {
+        "plain_s": result["plain"],
+        "disabled_s": result["disabled"],
+        "armed_s": result["armed"],
+        "overhead_disabled": result["overhead_disabled"],
+        "overhead_armed": result["overhead_armed"],
+        "n_probes": result["n_probes"],
+    })
 
     # Null policy short-circuits to the unwrapped callable, so disabled
     # chaos must sit inside the 5% acceptance bound (any excess is

@@ -61,10 +61,18 @@ def render(result):
     return table.render()
 
 
-def test_parallel_crawl_speedup(emit):
+def test_parallel_crawl_speedup(emit, emit_json):
     world = build_world(BENCH_WORLD)
     result = measure(world)
     emit("parallel_crawl", render(result))
+    emit_json("parallel_crawl", {
+        "n_measurements": result["n_measurements"],
+        "cpus": result["cpus"],
+        **{f"wall_s_{name.replace(' ', '_')}": elapsed
+           for name, elapsed, _, _ in result["rows"]},
+        **{f"speedup_{name.replace(' ', '_')}": speedup
+           for name, _, speedup, _ in result["rows"]},
+    })
 
     # Invariance is unconditional: every worker count, same store.
     assert all(equal for _, _, _, equal in result["rows"])

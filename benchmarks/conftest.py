@@ -5,6 +5,12 @@ shared 17-month study (scaled world), times the regeneration step with
 pytest-benchmark, and writes the paper-vs-measured rows both to stdout
 and to ``benchmarks/out/<name>.txt`` so the results survive pytest's
 output capture.
+
+Benchmarks with numeric results additionally dump them machine-readable
+via ``emit_json`` as ``benchmarks/out/BENCH_<name>.json`` in the
+``repro.obs/v1`` telemetry snapshot schema (each value a
+``repro.bench.<name>.<key>`` gauge), so a perf trajectory accumulates
+across runs in one parseable format.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import os
 
 import pytest
 
-from repro import ReactivePlatform, WorldConfig, run_study
+from repro import ReactivePlatform, RunTelemetry, WorldConfig, run_study
 
 # The full 17-month window at a laptop-scale population (large enough
 # that the mega-anycast providers sit a full domain-count decade above
@@ -59,3 +65,25 @@ def emit():
             fp.write(text + "\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    """Dump a benchmark's numeric results as ``BENCH_<name>.json``.
+
+    ``values`` is a flat mapping of result keys to numbers; each becomes
+    a ``repro.bench.<name>.<key>`` gauge and the file is a full
+    ``repro.obs/v1`` snapshot, parseable by the same tooling that reads
+    ``--metrics-out`` files.
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _emit_json(name: str, values) -> str:
+        telemetry = RunTelemetry.create()
+        for key, value in sorted(values.items()):
+            telemetry.registry.gauge(f"repro.bench.{name}.{key}").set(value)
+        path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+        telemetry.write_json(path)
+        return path
+
+    return _emit_json

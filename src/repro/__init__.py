@@ -24,6 +24,7 @@ Subpackages (importable directly for finer-grained use):
 - :mod:`repro.openintel` — daily crawl and aggregate storage
 - :mod:`repro.streaming` — in-process topics + discrete-event scheduler
 - :mod:`repro.chaos` — seeded fault injection over the pipeline surfaces
+- :mod:`repro.obs` — run telemetry: metrics registry, phase spans, clocks
 - :mod:`repro.core` — the paper's join pipeline and analyses
 - :mod:`repro.datasets` — open-resolver scan, dataset bundle I/O
 """
@@ -32,10 +33,11 @@ from repro.core.pipeline import Study, run_study
 from repro.core.reactive import ReactivePlatform
 from repro.chaos.injector import FaultInjector
 from repro.chaos.policy import ChaosConfig, FaultPolicy
+from repro.obs import MetricsRegistry, RunTelemetry
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Study",
@@ -44,6 +46,8 @@ __all__ = [
     "ChaosConfig",
     "FaultPolicy",
     "FaultInjector",
+    "MetricsRegistry",
+    "RunTelemetry",
     "WorldConfig",
     "World",
     "build_world",

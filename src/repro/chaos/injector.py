@@ -31,6 +31,7 @@ from repro.chaos.faults import (
 )
 from repro.chaos.policy import ChaosConfig, FaultPolicy
 from repro.dns.server import ServerReply
+from repro.obs import NULL_TELEMETRY, RunTelemetry
 from repro.streaming.processors import (
     CircuitBreaker,
     FailFastProcessor,
@@ -77,9 +78,15 @@ class _ChaoticProcessor(Processor):
 class FaultInjector:
     """Applies a :class:`ChaosConfig` to the pipeline's surfaces."""
 
-    def __init__(self, config: ChaosConfig):
+    def __init__(self, config: ChaosConfig,
+                 telemetry: Optional[RunTelemetry] = None):
         self.config = config
         self.rngs = RngStreams(derive_seed(config.seed, "chaos"))
+        #: the run's telemetry: every fault fired is also counted under
+        #: ``repro.chaos.faults{surface,kind}``, and the hardened feed
+        #: job's broker/metrics hang off the same registry. Telemetry
+        #: never feeds back into the fault schedule (no RNG draws).
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.events: List[FaultEvent] = []
         #: per-(surface, kind) pending burst continuations.
         self._burst_left: Dict[Tuple[str, str], int] = {}
@@ -107,6 +114,8 @@ class FaultInjector:
         else:
             return False
         self.events.append(FaultEvent(surface, kind, detail))
+        self.telemetry.registry.counter("repro.chaos.faults",
+                                        surface=surface, kind=kind).inc()
         return True
 
     @property
@@ -210,7 +219,7 @@ class FaultInjector:
         faulted = self.wrap_records(list(attacks), "feed",
                                     corrupter=corrupt_attack,
                                     truncator=truncate_attack)
-        broker = Broker()
+        broker = Broker(metrics=self.telemetry.registry)
         topic = broker.topic("rsdos-feed")
         # Offsets serve as the (monotonic) topic timestamps: chaos may
         # have reordered attack start times, which is the point.

@@ -14,18 +14,23 @@ Subcommands:
     and print its timeline tables.
 ``visibility``
     Print the §4.3 limitations quantified against ground truth.
+
+Every subcommand accepts ``--trace`` (print the phase-timing tree to
+stderr afterwards) and ``--metrics-out PATH`` (write the run's
+``repro.obs/v1`` telemetry snapshot as JSON). Both only observe: stdout
+is byte-identical with or without them.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from repro import ChaosConfig, WorldConfig, run_study
 from repro.core.visibility import analyze_visibility
 from repro.datasets.io import dataset_bundle_dump
+from repro.obs import NULL_TELEMETRY, RunTelemetry
 from repro.util.tables import Table, format_pct
 
 
@@ -52,6 +57,42 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                              "N, chaos runs force serial")
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record phase spans and print the "
+                             "phase-timing tree (stderr) after the "
+                             "command; outputs are unchanged")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the run's telemetry snapshot "
+                             "(repro.obs/v1 JSON: metrics + spans) to "
+                             "PATH")
+
+
+def _telemetry_from(args: argparse.Namespace) -> RunTelemetry:
+    """An enabled bundle when any telemetry flag is set, else the no-op
+    one (whose clock is still real, so wall-time prints keep working)."""
+    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
+        return RunTelemetry.create()
+    return NULL_TELEMETRY
+
+
+def _emit_telemetry(args: argparse.Namespace,
+                    telemetry: RunTelemetry) -> None:
+    """Print the trace tree / write the snapshot, as flags request.
+
+    Everything goes to stderr or to the ``--metrics-out`` file: stdout
+    stays byte-identical to a run without telemetry flags.
+    """
+    if getattr(args, "trace", False):
+        tree = telemetry.render_trace()
+        if tree:
+            print(f"phase timings:\n{tree}", file=sys.stderr)
+    path = getattr(args, "metrics_out", None)
+    if path:
+        telemetry.write_json(path)
+        print(f"telemetry snapshot written to {path}", file=sys.stderr)
+
+
 def _config_from(args: argparse.Namespace) -> WorldConfig:
     return WorldConfig(
         seed=args.seed,
@@ -75,9 +116,15 @@ def _run(args: argparse.Namespace):
           f"{config.attacks_per_month} attacks/month"
           + (f", {workers} crawl workers" if workers != 1 else "")
           + ")...", file=sys.stderr)
-    t0 = time.time()
-    study = run_study(config, chaos=chaos, n_workers=workers)
-    print(f"done in {time.time() - t0:.1f}s", file=sys.stderr)
+    # Wall time comes from the telemetry clock (monotonic even when the
+    # bundle itself is the no-op one), so the ad-hoc "done in" line and
+    # the --trace span tree measure on the same axis.
+    telemetry = _telemetry_from(args)
+    clock = telemetry.clock
+    t0 = clock.now()
+    study = run_study(config, chaos=chaos, n_workers=workers,
+                      telemetry=telemetry)
+    print(f"done in {clock.now() - t0:.1f}s", file=sys.stderr)
     if study.chaos is not None:
         print(study.chaos.summary(), file=sys.stderr)
         print(f"join rejected {len(study.join.rejected)} records; "
@@ -90,28 +137,27 @@ def _run(args: argparse.Namespace):
 def cmd_report(args: argparse.Namespace) -> int:
     study = _run(args)
     print(study.report())
+    _emit_telemetry(args, study.telemetry)
     return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
     study = _run(args)
-    dataset_bundle_dump(
-        args.output,
-        feed=study.feed,
-        prefix2as=study.world.prefix2as,
-        as2org=study.world.as2org,
-        census=study.world.census,
-        openresolvers=study.open_resolvers,
-    )
+    with study.telemetry.tracer.span("export"):
+        dataset_bundle_dump(
+            args.output,
+            feed=study.feed,
+            prefix2as=study.world.prefix2as,
+            as2org=study.world.as2org,
+            census=study.world.census,
+            openresolvers=study.open_resolvers,
+        )
     print(f"datasets written to {args.output}/", file=sys.stderr)
+    _emit_telemetry(args, study.telemetry)
     return 0
 
 
 def cmd_case(args: argparse.Namespace) -> int:
-    import runpy
-
-    module = {"transip": "examples.transip_case_study",
-              "russia": "examples.russian_infrastructure"}
     script = {"transip": "transip_case_study",
               "russia": "russian_infrastructure"}[args.name]
     # The case scripts live in examples/; execute them in-process.
@@ -124,15 +170,22 @@ def cmd_case(args: argparse.Namespace) -> int:
     if not os.path.exists(path):
         print(f"case script not found: {path}", file=sys.stderr)
         return 1
+    telemetry = _telemetry_from(args)
     spec = importlib.util.spec_from_file_location(script, path)
     module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module.main()
+    with telemetry.tracer.span(f"case.{args.name}"):
+        with telemetry.tracer.span("load"):
+            spec.loader.exec_module(module)
+        with telemetry.tracer.span("run"):
+            status = module.main()
+    _emit_telemetry(args, telemetry)
+    return status
 
 
 def cmd_visibility(args: argparse.Namespace) -> int:
     study = _run(args)
-    report = analyze_visibility(study.world.attacks, study.feed)
+    with study.telemetry.tracer.span("visibility"):
+        report = analyze_visibility(study.world.attacks, study.feed)
     table = Table(["attack class", "detected", "total", "rate"],
                   title="Telescope visibility (§4.3 oracle)")
     for name, (detected, total) in sorted(report.by_class.items()):
@@ -142,6 +195,7 @@ def cmd_visibility(args: argparse.Namespace) -> int:
     if report.multivector_underestimate is not None:
         print(f"\nmulti-vector rate seen: "
               f"{report.multivector_underestimate:.0%} of truth")
+    _emit_telemetry(args, study.telemetry)
     return 0
 
 
@@ -154,21 +208,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="run a study, print the report")
     _add_world_args(p_report)
+    _add_obs_args(p_report)
     p_report.set_defaults(func=cmd_report)
 
     p_export = sub.add_parser("export", help="export derived datasets")
     _add_world_args(p_export)
+    _add_obs_args(p_export)
     p_export.add_argument("--output", default="./repro-datasets",
                           help="output directory")
     p_export.set_defaults(func=cmd_export)
 
     p_case = sub.add_parser("case", help="replay a scripted case study")
     p_case.add_argument("name", choices=("transip", "russia"))
+    _add_obs_args(p_case)
     p_case.set_defaults(func=cmd_case)
 
     p_vis = sub.add_parser("visibility",
                            help="quantify telescope blind spots (§4.3)")
     _add_world_args(p_vis)
+    _add_obs_args(p_vis)
     p_vis.set_defaults(func=cmd_visibility)
 
     return parser

@@ -31,6 +31,7 @@ from repro.core.nsset import NSSetMetadata
 from repro.core.ports import PortAnalysis, analyze_ports, analyze_successful_ports
 from repro.core.resilience import ResilienceAnalysis, analyze_resilience
 from repro.datasets.openresolvers import OpenResolverScan
+from repro.obs import NULL_TELEMETRY, RunTelemetry
 from repro.openintel.platform import OpenIntelPlatform
 from repro.openintel.storage import MeasurementStore
 from repro.telescope.backscatter import BackscatterSimulator
@@ -70,6 +71,13 @@ class Study:
     #: the fault injector of a chaos run (None on clean runs); carries
     #: the injected-fault log and the feed job's dead letters.
     chaos: Optional["FaultInjector"] = None
+    #: the run's telemetry (metrics + phase spans); defaults to the
+    #: shared no-op bundle, and is never ``None`` after construction.
+    telemetry: RunTelemetry = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = NULL_TELEMETRY
 
     @property
     def degraded_events(self) -> List[AttackEvent]:
@@ -91,37 +99,44 @@ class Study:
     @cached_property
     def monthly(self) -> MonthlySummary:
         """Table 3 / Table 1."""
-        return monthly_summary(self.join)
+        with self.telemetry.tracer.span("analysis.monthly"):
+            return monthly_summary(self.join)
 
     @cached_property
     def ports(self) -> PortAnalysis:
         """Figure 6."""
-        return analyze_ports(self.join)
+        with self.telemetry.tracer.span("analysis.ports"):
+            return analyze_ports(self.join)
 
     @cached_property
     def successful_ports(self) -> PortAnalysis:
         """§6.3.1's successful-attack port mix."""
-        return analyze_successful_ports(self.events)
+        with self.telemetry.tracer.span("analysis.successful_ports"):
+            return analyze_successful_ports(self.events)
 
     @cached_property
     def failures(self) -> FailureAnalysis:
         """Figure 7 / §6.3.1."""
-        return analyze_failures(self.events)
+        with self.telemetry.tracer.span("analysis.failures"):
+            return analyze_failures(self.events)
 
     @cached_property
     def impact(self) -> ImpactAnalysis:
         """Figure 8 / §6.3.2."""
-        return analyze_impact(self.events)
+        with self.telemetry.tracer.span("analysis.impact"):
+            return analyze_impact(self.events)
 
     @cached_property
     def correlation(self) -> CorrelationAnalysis:
         """Figures 9-10."""
-        return analyze_correlation(self.events)
+        with self.telemetry.tracer.span("analysis.correlation"):
+            return analyze_correlation(self.events)
 
     @cached_property
     def resilience(self) -> ResilienceAnalysis:
         """Figures 11-13."""
-        return analyze_resilience(self.events)
+        with self.telemetry.tracer.span("analysis.resilience"):
+            return analyze_resilience(self.events)
 
     def top_companies(self, n: int = 10):
         """Table 6."""
@@ -134,7 +149,8 @@ class Study:
         analysis, clearly separated from the dataset-pure ones)."""
         from repro.core.visibility import analyze_visibility
 
-        return analyze_visibility(self.world.attacks, self.feed)
+        with self.telemetry.tracer.span("analysis.visibility"):
+            return analyze_visibility(self.world.attacks, self.feed)
 
     def report(self) -> str:
         """The full textual study report."""
@@ -148,7 +164,8 @@ def run_study(config: Optional[WorldConfig] = None,
               progress: Optional[Callable[[int, int], None]] = None,
               install_scenarios: bool = True,
               chaos: Optional["ChaosConfig"] = None,
-              n_workers: int = 1) -> Study:
+              n_workers: int = 1,
+              telemetry: Optional[RunTelemetry] = None) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
 
@@ -169,54 +186,87 @@ def run_study(config: Optional[WorldConfig] = None,
     store is damaged post-crawl. Analyses then degrade — flagging
     affected events — rather than crash. With every fault probability
     at zero the run is byte-identical to a clean one.
+
+    ``telemetry`` threads a :class:`repro.obs.RunTelemetry` through the
+    run: per-phase spans (world build, telescope, crawl, join, events —
+    the lazy analyses span as they are computed), ``repro.crawl.*``
+    shard stats merged across workers, ``repro.stream.*`` /
+    ``repro.chaos.*`` counters on a chaos run, and ``repro.store.*``
+    ingest totals. Telemetry observes only — it draws from no seeded
+    RNG, and every study output is bit-identical whether it is enabled
+    or the default no-op bundle (a test asserts this).
     """
-    if world is None:
-        config = config or WorldConfig()
-        world = build_world(config, install_scenarios=install_scenarios)
-    else:
-        config = world.config
+    telemetry = telemetry or NULL_TELEMETRY
+    tracer = telemetry.tracer
+    with tracer.span("study") as study_span:
+        if world is None:
+            config = config or WorldConfig()
+            with tracer.span("world"):
+                world = build_world(config,
+                                    install_scenarios=install_scenarios)
+        else:
+            config = world.config
+        study_span.annotate(seed=config.seed, n_domains=config.n_domains)
 
-    injector: Optional["FaultInjector"] = None
-    if chaos is not None:
-        from repro.chaos.injector import FaultInjector
+        injector: Optional["FaultInjector"] = None
+        if chaos is not None:
+            from repro.chaos.injector import FaultInjector
 
-        injector = FaultInjector(chaos)
+            injector = FaultInjector(chaos, telemetry=telemetry)
 
-    darknet = Darknet()
-    simulator = BackscatterSimulator(
-        darknet, world.rngs.stream("telescope"),
-        link_util_fn=_link_util_fn(world),
-        headroom=config.headroom)
-    feed = RSDoSFeed.observe(world.attacks, simulator)
+        with tracer.span("telescope") as span:
+            darknet = Darknet()
+            simulator = BackscatterSimulator(
+                darknet, world.rngs.stream("telescope"),
+                link_util_fn=_link_util_fn(world),
+                headroom=config.headroom)
+            feed = RSDoSFeed.observe(world.attacks, simulator)
+            span.annotate(attacks_inferred=len(feed.attacks))
 
-    transport = (injector.wrap_transport(world.transport)
-                 if injector is not None else None)
-    platform = OpenIntelPlatform(world, transport=transport)
-    if injector is not None:
-        injector.wrap_store_ingest(platform.store)
-        if n_workers != 1:
-            import warnings
+        transport = (injector.wrap_transport(world.transport)
+                     if injector is not None else None)
+        platform = OpenIntelPlatform(world, transport=transport,
+                                     telemetry=telemetry)
+        if injector is not None:
+            injector.wrap_store_ingest(platform.store)
+            if n_workers != 1:
+                import warnings
 
-            warnings.warn(
-                "chaos runs force a serial crawl: the fault injector is "
-                "stateful (burst state, fault log, RNG streams), so its "
-                "schedule cannot be sharded across forked workers",
-                RuntimeWarning, stacklevel=2)
-            n_workers = 1
-    store = platform.run_parallel(n_workers, progress=progress)
-    if injector is not None:
-        injector.corrupt_store(store)
+                warnings.warn(
+                    "chaos runs force a serial crawl: the fault injector is "
+                    "stateful (burst state, fault log, RNG streams), so its "
+                    "schedule cannot be sharded across forked workers",
+                    RuntimeWarning, stacklevel=2)
+                n_workers = 1
+        with tracer.span("crawl") as span:
+            store = platform.run_parallel(n_workers, progress=progress)
+            span.annotate(workers=n_workers, rows=store.n_measurements)
+            if platform.stats is not None:
+                platform.stats.publish(telemetry.registry)
+        if injector is not None:
+            injector.corrupt_store(store)
 
-    feed_attacks = feed.attacks
-    if injector is not None:
-        feed_attacks = injector.harden_feed(feed_attacks)
+        feed_attacks = feed.attacks
+        if injector is not None:
+            with tracer.span("feed_harden") as span:
+                feed_attacks = injector.harden_feed(feed_attacks)
+                span.annotate(survivors=len(feed_attacks),
+                              dead_letters=len(injector.dead_letters))
 
-    open_resolvers = OpenResolverScan.from_world(world)
-    join = join_datasets(feed_attacks, world.directory, open_resolvers)
-    metadata = NSSetMetadata(world.directory, world.prefix2as,
-                             world.as2org, world.census)
-    events = extract_events(join, store, metadata,
-                            min_domains=config.event_min_domains)
+        with tracer.span("join") as span:
+            open_resolvers = OpenResolverScan.from_world(world)
+            join = join_datasets(feed_attacks, world.directory,
+                                 open_resolvers)
+            span.annotate(records=len(join.classified),
+                          rejected=len(join.rejected))
+        with tracer.span("events") as span:
+            metadata = NSSetMetadata(world.directory, world.prefix2as,
+                                     world.as2org, world.census)
+            events = extract_events(join, store, metadata,
+                                    min_domains=config.event_min_domains)
+            span.annotate(events=len(events))
+        store.publish_metrics(telemetry.registry)
     return Study(config=config, world=world, feed=feed, store=store,
                  open_resolvers=open_resolvers, join=join,
-                 metadata=metadata, events=events, chaos=injector)
+                 metadata=metadata, events=events, chaos=injector,
+                 telemetry=telemetry)

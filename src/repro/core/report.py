@@ -43,6 +43,22 @@ def _header(study: "Study") -> str:
         f"(NSSets with >= {config.event_min_domains} measured domains)",
         f"measurements: {format_count(study.store.n_measurements)}",
     ]
+    # Chaos/degradation flags appear only when they apply, so a clean
+    # run's report is unchanged — and a zero-probability chaos run stays
+    # byte-identical to a clean one — but a faulted run is visibly marked.
+    if study.chaos is not None and (study.chaos.events
+                                    or study.chaos.dead_letters):
+        injector = study.chaos
+        lines.append(
+            f"chaos      : {len(injector.events)} faults injected "
+            f"(seed {injector.config.seed}, "
+            f"{len(injector.dead_letters)} feed records dead-lettered)")
+    if study.degraded:
+        lines.append(
+            f"degraded   : YES - {len(study.degraded_events)}/"
+            f"{len(study.events)} events degraded, "
+            f"{len(study.join.rejected)} join rejects, "
+            f"{study.store.n_rejected} store rejects")
     return "\n".join(lines)
 
 

@@ -1,0 +1,45 @@
+"""repro.obs — run telemetry: metrics, phase spans, injectable clocks.
+
+The observability layer of the pipeline, dependency-free and seeded-RNG
+free. One :class:`RunTelemetry` bundle per run carries a
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+and a :class:`Tracer` (nested phase spans) against an injectable
+:class:`Clock`. The default, :data:`NULL_TELEMETRY`, is a no-op — see
+:mod:`repro.obs.telemetry` for the determinism contract and the
+``repro.obs/v1`` snapshot schema, and ``docs/observability.md`` for the
+metric namespace (``repro.crawl.*``, ``repro.stream.*``,
+``repro.chaos.*``, ``repro.store.*``).
+"""
+
+from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.registry import (
+    DEFAULT_BUCKETS_MS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.telemetry import NULL_TELEMETRY, SNAPSHOT_SCHEMA, RunTelemetry
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS_MS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunTelemetry",
+    "NULL_TELEMETRY",
+    "SNAPSHOT_SCHEMA",
+]

@@ -1,0 +1,49 @@
+"""Injectable monotonic clocks.
+
+Telemetry measures wall time with a :class:`Clock` it is handed, never
+with module-level ``time.time()`` calls: production code gets a
+:class:`MonotonicClock`, tests get a :class:`FakeClock` they advance by
+hand, and every span/duration in a trace is then exactly predictable.
+
+Clocks are the *only* source of nondeterminism in :mod:`repro.obs`, and
+they feed timings alone — never a random stream, never a study output.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock"]
+
+
+class Clock:
+    """A source of monotonic timestamps in (fractional) seconds."""
+
+    def now(self) -> float:
+        """The current monotonic time, in seconds."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.monotonic`` (immune to wall-clock steps)."""
+
+    def now(self) -> float:
+        """The current ``time.monotonic()`` reading."""
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """A hand-advanced clock for deterministic timing tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The fake clock's current reading."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward; going backwards is forbidden."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds

@@ -1,0 +1,96 @@
+"""The per-run telemetry bundle: one registry + one tracer + one clock.
+
+A :class:`RunTelemetry` travels with a study run: ``run_study`` threads
+it through the pipeline (crawl, streaming, chaos, store), the finished
+:class:`~repro.core.pipeline.Study` carries it, and the CLI writes it
+out (``--metrics-out``) or prints its phase tree (``--trace``).
+
+The determinism contract
+------------------------
+
+Telemetry **observes, never perturbs**: it draws nothing from any
+seeded RNG, and instrumented code takes no data-dependent branch on it,
+so a study's outputs are bit-identical whether telemetry is enabled or
+disabled (a test asserts this). The default is :data:`NULL_TELEMETRY`
+— a no-op registry and tracer around a real monotonic clock — so
+uninstrumented callers pay only inert method calls.
+
+The snapshot schema (``repro.obs/v1``)::
+
+    {"schema": "repro.obs/v1",
+     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+     "spans": [{"name": ..., "duration_s": ..., "children": [...]}, ...]}
+
+Benchmarks reuse the same schema for their ``BENCH_*.json`` trajectory
+files (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, Tracer
+
+__all__ = ["RunTelemetry", "NULL_TELEMETRY", "SNAPSHOT_SCHEMA"]
+
+#: Version tag stamped into every snapshot.
+SNAPSHOT_SCHEMA = "repro.obs/v1"
+
+
+class RunTelemetry:
+    """Everything one run records: metrics, spans, and their clock."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 clock: Optional[Clock] = None):
+        self.clock = clock or MonotonicClock()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.clock)
+
+    @classmethod
+    def create(cls, clock: Optional[Clock] = None) -> "RunTelemetry":
+        """An enabled telemetry bundle (fresh registry + tracer)."""
+        return cls(clock=clock)
+
+    @classmethod
+    def disabled(cls) -> "RunTelemetry":
+        """The shared no-op bundle (see :data:`NULL_TELEMETRY`)."""
+        return NULL_TELEMETRY
+
+    @property
+    def enabled(self) -> bool:
+        """Whether anything is actually recorded."""
+        return self.registry.enabled or self.tracer.enabled
+
+    # -- exposition -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full ``repro.obs/v1`` snapshot (JSON-serializable)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.snapshot(),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`snapshot` to ``path`` as pretty-printed JSON."""
+        with open(path, "w") as fp:
+            json.dump(self.snapshot(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the run's metrics."""
+        return self.registry.render_prometheus()
+
+    def render_trace(self) -> str:
+        """The phase-timing tree (``--trace`` output)."""
+        return self.tracer.render_tree()
+
+
+#: The process-wide disabled bundle: no-op registry and tracer around a
+#: real monotonic clock (so callers can still time against it).
+NULL_TELEMETRY = RunTelemetry(NULL_REGISTRY, NULL_TRACER)

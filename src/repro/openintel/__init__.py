@@ -8,6 +8,7 @@ granularity around attacks — the exact inputs of the paper's analysis.
 """
 
 from repro.openintel.records import Measurement
+from repro.openintel.stats import CrawlStats
 from repro.openintel.storage import Aggregate, MeasurementStore
 from repro.openintel.platform import OpenIntelPlatform
 
@@ -16,4 +17,5 @@ __all__ = [
     "Aggregate",
     "MeasurementStore",
     "OpenIntelPlatform",
+    "CrawlStats",
 ]

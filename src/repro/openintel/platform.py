@@ -42,7 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.dns.rcode import ResponseStatus
 from repro.dns.resolver import AgnosticResolver, ResolverConfig
 from repro.dns.rr import RRType
+from repro.obs import NULL_TELEMETRY, RunTelemetry
 from repro.openintel.records import Measurement
+from repro.openintel.stats import CrawlStats
 from repro.openintel.storage import MeasurementStore
 from repro.util.rng import derive_seed
 from repro.util.timeutil import DAY, day_start, iter_days
@@ -60,9 +62,17 @@ class OpenIntelPlatform:
 
     def __init__(self, world: World, config: Optional[ResolverConfig] = None,
                  keep_raw: bool = False, dense_oversampling: int = 6,
-                 transport=None):
+                 transport=None,
+                 telemetry: Optional[RunTelemetry] = None):
         if dense_oversampling < 1:
             raise ValueError("dense_oversampling must be >= 1")
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: shard counters collected when telemetry is enabled (``None``
+        #: otherwise, so the hot loop pays a single identity check).
+        #: Telemetry only observes — with it on or off the crawl draws
+        #: the same random streams and fills an identical store.
+        self.stats: Optional[CrawlStats] = (
+            CrawlStats() if self.telemetry.enabled else None)
         self.world = world
         self.config = config or world.config.resolver
         self.rng = world.rngs.stream("openintel")
@@ -168,6 +178,7 @@ class OpenIntelPlatform:
         reseed = day_rng.seed
         resolver = AgnosticResolver(self.transport, day_rng, self.config)
         restore = self.world.set_transport_rng(day_rng)
+        stats = self.stats
         try:
             shard, n_shards = self.shard
             for day_idx, day in enumerate(iter_days(start, end)):
@@ -186,22 +197,37 @@ class OpenIntelPlatform:
                         if klass <= _ANSWERING_TARGET:  # _NORMAL or answering
                             rtts = quiet_rtts[nsset_id]
                             base = rtts[int(rng_random() * len(rtts))]
+                            rtt = base + rng_expo(0.5)
                             store.add_fast(nsset_id, ts, ResponseStatus.OK,
-                                           base + rng_expo(0.5), False)
+                                           rtt, False)
+                            if stats is not None:
+                                stats.domain_days += 1
+                                stats.fast_path_days += 1
+                                stats.add_ok(rtt)
                             continue
                         if klass == _DEAD:
                             store.add_fast(nsset_id, ts, ResponseStatus.TIMEOUT,
                                            deadline, False)
+                            if stats is not None:
+                                stats.domain_days += 1
+                                stats.dead_days += 1
+                                stats.timeout += 1
                             continue
                     n_queries = self.dense_oversampling if dense else 1
                     stride = DAY // n_queries
                     ns_ips = record.delegation.nameserver_ips
+                    if stats is not None:
+                        stats.domain_days += 1
+                        stats.resolver_days += 1
+                        stats.queries += n_queries
                     for j in range(n_queries):
                         ts_j = day + (offsets[domain_id] + j * stride) % DAY
                         result = resolver.resolve(record.name, RRType.NS,
                                                   ns_ips, ts_j)
                         store.add_fast(nsset_id, ts_j, result.status,
                                        result.rtt_ms, dense)
+                        if stats is not None:
+                            stats.add_result(result.status, result.rtt_ms)
                         if keep_raw:
                             raw.append(Measurement(
                                 ts=ts_j, domain_id=domain_id,
@@ -258,10 +284,12 @@ class OpenIntelPlatform:
         _FORK_PARENT = self
         try:
             with multiprocessing.get_context("fork").Pool(n_workers) as pool:
-                for done, (store, raw) in enumerate(
+                for done, (store, raw, stats) in enumerate(
                         pool.imap(_crawl_shard, jobs), start=1):
                     self.store.merge(store)
                     self.raw.extend(raw)
+                    if self.stats is not None and stats is not None:
+                        self.stats.merge(stats)
                     if progress is not None:
                         progress(done, n_workers)
         finally:
@@ -280,13 +308,16 @@ class OpenIntelPlatform:
 _FORK_PARENT: Optional[OpenIntelPlatform] = None
 
 
-def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement]]:
+def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement],
+                                Optional[CrawlStats]]:
     """Worker entry point: crawl one shard of the domain population.
 
     Runs in a child forked from the parent, so ``_FORK_PARENT`` *is*
     the parent's fully-configured platform (same world, resolver
     config, ``keep_raw``, oversampling, transport) — only the shard
-    assignment and a fresh output store are local to this process.
+    assignment and fresh output store/stats are local to this process.
+    The shard's :class:`CrawlStats` (``None`` when telemetry is off)
+    rides back with the store for the parent to merge.
     """
     shard, n_shards, start, end = args
     platform = _FORK_PARENT
@@ -294,8 +325,9 @@ def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement]]:
     platform.shard = (shard, n_shards)
     platform.store = MeasurementStore()
     platform.raw = []
+    platform.stats = CrawlStats() if platform.stats is not None else None
     store = platform.run(start, end)
-    return store, platform.raw
+    return store, platform.raw, platform.stats
 
 
 def run_parallel(config_or_world: Union[World, "WorldConfig"],

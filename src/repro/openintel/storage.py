@@ -191,6 +191,8 @@ class MeasurementStore:
         self.n_measurements = 0
         #: malformed rows rejected at ingest (negative/NaN/inf RTTs).
         self.n_rejected = 0
+        #: donor stores folded in via :meth:`merge` (sharded crawls).
+        self.n_merges = 0
 
     # -- ingest --------------------------------------------------------------
 
@@ -303,6 +305,20 @@ class MeasurementStore:
                 mine.merge(agg)
         self.n_measurements += other.n_measurements
         self.n_rejected += other.n_rejected
+        self.n_merges += 1 + other.n_merges
+
+    def publish_metrics(self, registry) -> None:
+        """Emit ingest/reject/merge totals as ``repro.store.*`` metrics.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (kept
+        untyped here so storage stays import-light). Counters carry the
+        lifetime totals; gauges carry the current aggregate population.
+        """
+        registry.counter("repro.store.ingested").inc(self.n_measurements)
+        registry.counter("repro.store.rejected").inc(self.n_rejected)
+        registry.counter("repro.store.merges").inc(self.n_merges)
+        registry.gauge("repro.store.daily_aggregates").set(len(self.daily))
+        registry.gauge("repro.store.bucket_aggregates").set(len(self.buckets))
 
     def __eq__(self, other: object) -> bool:
         """Exact (bit-for-bit observable) store equality.

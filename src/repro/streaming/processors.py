@@ -38,6 +38,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.obs.registry import MetricsRegistry
 from repro.streaming.topic import Broker, Consumer, Record, Topic
 from repro.util.rng import derive_seed
 
@@ -283,7 +284,8 @@ class StreamJob:
                  processors: List[Processor], name: Optional[str] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  dead_letter: Optional[str] = None,
-                 circuit_breaker: Optional[CircuitBreaker] = None):
+                 circuit_breaker: Optional[CircuitBreaker] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.broker = broker
         self.consumer: Consumer = broker.consumer(source, group=name or sink)
         self.sink: Topic = broker.topic(sink)
@@ -305,6 +307,22 @@ class StreamJob:
         #: virtual milliseconds spent in backoff (accounting only — the
         #: pipeline never wall-clock sleeps).
         self.backoff_ms_total = 0.0
+        # ``repro.stream.*`` metrics, labelled by job; falls back to the
+        # broker's registry (the no-op null one unless metered), so every
+        # increment below is an inert call when telemetry is off.
+        self.metrics = metrics if metrics is not None else broker.metrics
+        job = self.name
+        counter = self.metrics.counter
+        self._c_in = counter("repro.stream.records_in", job=job)
+        self._c_out = counter("repro.stream.records_out", job=job)
+        self._c_dead = counter("repro.stream.dead_letters", job=job)
+        self._c_retries = counter("repro.stream.retries", job=job)
+        self._c_flagged = counter("repro.stream.flagged", job=job)
+        self._c_opens = counter("repro.stream.breaker_opens", job=job)
+        self._c_checkpoints = counter("repro.stream.checkpoints", job=job)
+        self._c_restores = counter("repro.stream.restores", job=job)
+        self._h_backoff = self.metrics.histogram(
+            "repro.stream.backoff_ms", job=job)
 
     # -- processing -----------------------------------------------------------
 
@@ -321,6 +339,7 @@ class StreamJob:
 
     def _dead_letter(self, record: Record, exc: Exception, attempts: int) -> None:
         self.n_dead += 1
+        self._c_dead.inc()
         self.dead_letter.produce(record.ts, DeadLetter(
             value=record.value, offset=record.offset, ts=record.ts,
             job=self.name, error=type(exc).__name__,
@@ -338,6 +357,8 @@ class StreamJob:
             self.sink.produce(record.ts, FlaggedRecord(record.value))
             self.n_out += 1
             self.n_flagged += 1
+            self._c_out.inc()
+            self._c_flagged.inc()
             breaker.on_passthrough()
             return
         policy = self.retry_policy
@@ -358,23 +379,30 @@ class StreamJob:
                         or not self._budget_left()):
                     self._dead_letter(record, exc, attempt + 1)
                     if breaker is not None:
+                        opens_before = breaker.n_opens
                         breaker.record_failure()
+                        if breaker.n_opens > opens_before:
+                            self._c_opens.inc()
                     return
                 self.retries_used += 1
-                self.backoff_ms_total += policy.backoff_ms(
-                    self.name, record.offset, attempt)
+                self._c_retries.inc()
+                backoff = policy.backoff_ms(self.name, record.offset, attempt)
+                self.backoff_ms_total += backoff
+                self._h_backoff.observe(backoff)
                 attempt += 1
         # Outputs reach the sink only after the whole chain succeeded,
         # so retries never emit partial results.
         for value in outputs:
             self.sink.produce(record.ts, value)
             self.n_out += 1
+            self._c_out.inc()
         if breaker is not None:
             breaker.record_success()
 
     def step(self, max_records: Optional[int] = None) -> int:
         """Process newly-available records; returns how many were read."""
         records = self.consumer.poll(max_records)
+        self._c_in.inc(len(records))
         if self._hardened:
             for record in records:
                 self.n_in += 1
@@ -385,6 +413,7 @@ class StreamJob:
             for value in self._apply_chain(record):
                 self.sink.produce(record.ts, value)
                 self.n_out += 1
+                self._c_out.inc()
         return len(records)
 
     def drain(self) -> int:
@@ -406,6 +435,7 @@ class StreamJob:
         dict (possibly in a fresh process over the same broker state)
         resumes the job exactly-once: see :meth:`restore`.
         """
+        self._c_checkpoints.inc()
         state: Dict[str, Any] = {
             "version": 1,
             "job": self.name,
@@ -444,6 +474,7 @@ class StreamJob:
             if state[key] != actual:
                 raise ValueError(
                     f"checkpoint {key} mismatch: {state[key]!r} != {actual!r}")
+        self._c_restores.inc()
         self.sink.truncate(state["sink_end"])
         if self.dead_letter is not None and "dlq_end" in state:
             self.dead_letter.truncate(state["dlq_end"])

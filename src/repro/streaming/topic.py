@@ -1,9 +1,17 @@
-"""Topics and consumers: ordered, replayable, offset-tracked streams."""
+"""Topics and consumers: ordered, replayable, offset-tracked streams.
+
+Pass a :class:`repro.obs.MetricsRegistry` to a :class:`Broker` (or a
+single :class:`Topic`) to count produced/truncated records per topic
+under ``repro.stream.topic.*``; the default is the shared no-op
+registry, so unmetered brokers pay one inert call per produce.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Dict, Generic, Iterator, List, Optional, TypeVar
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 T = TypeVar("T")
 
@@ -20,9 +28,12 @@ class Record(Generic[T]):
 class Topic(Generic[T]):
     """An append-only ordered log of timestamped records."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self._log: List[Record[T]] = []
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._produced = self.metrics.counter(
+            "repro.stream.topic.produced", topic=name)
 
     def produce(self, ts: int, value: T) -> Record[T]:
         """Append a record; timestamps must be non-decreasing."""
@@ -31,6 +42,7 @@ class Topic(Generic[T]):
                 f"out-of-order produce on {self.name}: {ts} < {self._log[-1].ts}")
         record = Record(offset=len(self._log), ts=int(ts), value=value)
         self._log.append(record)
+        self._produced.inc()
         return record
 
     def read(self, offset: int, max_records: Optional[int] = None
@@ -58,6 +70,9 @@ class Topic(Generic[T]):
             raise ValueError(f"end_offset {end_offset} out of range")
         dropped = len(self._log) - end_offset
         del self._log[end_offset:]
+        if dropped:
+            self.metrics.counter("repro.stream.topic.truncated",
+                                 topic=self.name).inc(dropped)
         return dropped
 
     def __len__(self) -> int:
@@ -95,14 +110,17 @@ class Consumer(Generic[T]):
 class Broker:
     """A registry of named topics."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._topics: Dict[str, Topic[Any]] = {}
+        #: handed to every topic this broker creates, and picked up by
+        #: :class:`~repro.streaming.processors.StreamJob` s built on it.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
 
     def topic(self, name: str) -> Topic[Any]:
         """Get or create a topic."""
         topic = self._topics.get(name)
         if topic is None:
-            topic = Topic(name)
+            topic = Topic(name, metrics=self.metrics)
             self._topics[name] = topic
         return topic
 

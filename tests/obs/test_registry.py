@@ -1,0 +1,160 @@
+"""Registry semantics: counters, gauges, histograms, exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_MS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("repro.test.hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("repro.test.hits") \
+            is registry.counter("repro.test.hits")
+
+    def test_labels_distinguish_series(self, registry):
+        a = registry.counter("repro.test.hits", kind="a")
+        b = registry.counter("repro.test.hits", kind="b")
+        assert a is not b
+        a.inc()
+        assert (a.value, b.value) == (1, 0)
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("repro.test.hits", x="1", y="2")
+        b = registry.counter("repro.test.hits", y="2", x="1")
+        assert a is b
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("repro.test.hits").inc(-1)
+
+    def test_zero_increment_allowed(self, registry):
+        c = registry.counter("repro.test.hits")
+        c.inc(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("repro.test.depth")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.gauge("repro.test.depth")
+        with pytest.raises(ValueError):
+            registry.counter("repro.test.depth")
+
+
+class TestHistogram:
+    def test_value_on_bound_falls_in_that_bucket(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0, 10.0))
+        h.observe(1.0)    # le=1.0 bucket (Prometheus semantics)
+        h.observe(1.001)  # le=10.0 bucket
+        h.observe(99.0)   # overflow (+Inf)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.001)
+
+    def test_default_bounds(self, registry):
+        h = registry.histogram("repro.test.rtt")
+        assert h.bounds == DEFAULT_BUCKETS_MS
+        assert len(h.bucket_counts) == len(DEFAULT_BUCKETS_MS) + 1
+
+    def test_unsorted_bounds_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("repro.test.bad", buckets=(10.0, 1.0))
+
+    def test_re_register_with_other_bounds_rejected(self, registry):
+        registry.histogram("repro.test.rtt", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("repro.test.rtt", buckets=(1.0, 3.0))
+        # ... but re-requesting without bounds is fine.
+        assert registry.histogram("repro.test.rtt").bounds == (1.0, 2.0)
+
+    def test_add_counts_bulk_merge(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.add_counts([1, 2, 3], 40.0)
+        assert h.bucket_counts == [2, 2, 3]
+        assert h.count == 7
+        assert h.sum == pytest.approx(40.5)
+
+    def test_add_counts_layout_mismatch_rejected(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0, 10.0))
+        with pytest.raises(ValueError):
+            h.add_counts([1, 2], 0.0)
+
+
+class TestExposition:
+    def test_snapshot_is_json_serializable_and_complete(self, registry):
+        registry.counter("repro.a", kind="x").inc(3)
+        registry.gauge("repro.b").set(1.5)
+        registry.histogram("repro.c", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"] == {"repro.a{kind=x}": 3}
+        assert snap["gauges"] == {"repro.b": 1.5}
+        assert snap["histograms"]["repro.c"] == {
+            "bounds": [1.0], "counts": [1, 0], "count": 1, "sum": 0.5}
+
+    def test_prometheus_rendering(self, registry):
+        registry.counter("repro.chaos.faults", surface="feed",
+                         kind="drop").inc(2)
+        registry.gauge("repro.store.daily_aggregates").set(7)
+        h = registry.histogram("repro.crawl.rtt_ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_chaos_faults counter" in text
+        assert 'repro_chaos_faults{kind="drop",surface="feed"} 2' in text
+        assert "# TYPE repro_store_daily_aggregates gauge" in text
+        # Histogram buckets are cumulative, with +Inf, _sum and _count.
+        assert 'repro_crawl_rtt_ms_bucket{le="1.0"} 1' in text
+        assert 'repro_crawl_rtt_ms_bucket{le="10.0"} 2' in text
+        assert 'repro_crawl_rtt_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_crawl_rtt_ms_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        null = NullRegistry()
+        null.counter("x", a="b").inc(5)
+        null.gauge("y").set(3)
+        null.histogram("z").observe(1.0)
+        assert null.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+        assert null.render_prometheus() == ""
+
+    def test_disabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+
+    def test_shared_metric_objects(self):
+        # One inert object per kind: instrumentation allocates nothing.
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b", k="v")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")

@@ -1,0 +1,135 @@
+"""Span nesting and timing, driven by a hand-advanced fake clock."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, FakeClock, MonotonicClock, Tracer
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestFakeClock:
+    def test_advances_exactly(self, clock):
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == 1.75
+
+    def test_rejects_going_backwards(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_monotonic_clock_is_monotonic(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+
+class TestSpanTiming:
+    def test_duration_is_exact_under_fake_clock(self, clock, tracer):
+        with tracer.span("study") as span:
+            clock.advance(2.5)
+        assert span.duration == 2.5
+        assert (span.start, span.end) == (0.0, 2.5)
+
+    def test_duration_is_none_while_open(self, clock, tracer):
+        with tracer.span("study") as span:
+            assert span.duration is None
+        assert span.duration == 0.0
+
+    def test_nested_spans_nest_and_time_independently(self, clock, tracer):
+        with tracer.span("study"):
+            clock.advance(1.0)
+            with tracer.span("crawl"):
+                clock.advance(3.0)
+            clock.advance(0.5)
+
+        (study,) = tracer.roots
+        (crawl,) = study.children
+        assert study.duration == 4.5
+        assert crawl.duration == 3.0
+        assert crawl.start == 1.0
+
+    def test_sibling_roots_when_stack_is_empty(self, clock, tracer):
+        # A Study's lazy analyses run after the study span closed: each
+        # becomes its own root.
+        with tracer.span("study"):
+            clock.advance(1.0)
+        with tracer.span("analysis.monthly"):
+            clock.advance(0.5)
+        assert [r.name for r in tracer.roots] == ["study", "analysis.monthly"]
+        assert tracer.current is None
+
+    def test_span_closes_when_the_block_raises(self, clock, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("study"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (study,) = tracer.roots
+        assert study.duration == 1.0
+        assert tracer.current is None  # stack unwound
+
+    def test_current_tracks_the_innermost_open_span(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+
+
+class TestAnnotations:
+    def test_annotate_merges_with_open_kwargs(self, tracer):
+        with tracer.span("crawl", workers=4) as span:
+            span.annotate(rows=120)
+        assert span.meta == {"workers": 4, "rows": 120}
+
+    def test_snapshot_shape(self, clock, tracer):
+        with tracer.span("study"):
+            clock.advance(1.0)
+            with tracer.span("crawl", workers=2):
+                clock.advance(2.0)
+        snap = json.loads(json.dumps(tracer.snapshot()))
+        assert snap == [{
+            "name": "study",
+            "duration_s": 3.0,
+            "children": [{"name": "crawl", "duration_s": 2.0,
+                          "meta": {"workers": 2}}],
+        }]
+
+    def test_render_tree_indents_and_sorts_meta(self, clock, tracer):
+        with tracer.span("study"):
+            clock.advance(1.0)
+            with tracer.span("crawl", workers=2, rows=10):
+                clock.advance(2.0)
+        tree = tracer.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("study")
+        assert "   3.000s" in lines[0]
+        assert lines[1].startswith("  crawl")
+        assert lines[1].endswith("(rows=10, workers=2)")
+
+    def test_render_tree_marks_open_spans(self, tracer):
+        with tracer.span("study"):
+            assert "(open)" in tracer.render_tree()
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("study", workers=2) as span:
+            span.annotate(rows=1)
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.snapshot() == []
+        assert NULL_TRACER.render_tree() == ""
+
+    def test_disabled_flag(self):
+        assert Tracer().enabled
+        assert not NULL_TRACER.enabled

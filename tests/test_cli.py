@@ -1,10 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import SNAPSHOT_SCHEMA
 
 FAST_ARGS = ["--domains", "700", "--attacks-per-month", "60",
              "--start", "2021-03-01", "--end", "2021-04-01"]
@@ -27,6 +29,14 @@ class TestParser:
     def test_export_output(self):
         args = build_parser().parse_args(["export", "--output", "/tmp/x"])
         assert args.output == "/tmp/x"
+
+    def test_telemetry_flags_on_every_subcommand(self):
+        for argv in (["report"], ["export"], ["visibility"],
+                     ["case", "transip"]):
+            args = build_parser().parse_args(
+                argv + ["--trace", "--metrics-out", "/tmp/m.json"])
+            assert args.trace is True
+            assert args.metrics_out == "/tmp/m.json"
 
 
 class TestCommands:
@@ -51,3 +61,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Telescope visibility" in out
         assert "randomly spoofed" in out
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_writes_a_parseable_snapshot(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.json")
+        assert main(["report", "--metrics-out", path, "--trace"]
+                    + FAST_ARGS) == 0
+        captured = capsys.readouterr()
+        with open(path) as fp:
+            snap = json.load(fp)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["metrics"]["counters"]  # non-empty
+        names = [s["name"] for s in snap["spans"]]
+        assert names[0] == "study"
+        # --trace prints the phase tree on stderr, never stdout.
+        assert "phase timings:" in captured.err
+        assert "phase timings:" not in captured.out
+
+    def test_stdout_is_byte_identical_with_and_without_flags(
+            self, tmp_path, capsys):
+        assert main(["report"] + FAST_ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(["report", "--trace", "--metrics-out",
+                     str(tmp_path / "m.json")] + FAST_ARGS) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain

@@ -9,8 +9,8 @@ import repro
 PACKAGES = [
     "repro", "repro.util", "repro.net", "repro.dns", "repro.topology",
     "repro.anycast", "repro.world", "repro.attacks", "repro.telescope",
-    "repro.openintel", "repro.streaming", "repro.chaos", "repro.datasets",
-    "repro.core",
+    "repro.openintel", "repro.streaming", "repro.chaos", "repro.obs",
+    "repro.datasets", "repro.core",
 ]
 
 
