@@ -25,24 +25,29 @@ Subpackages (importable directly for finer-grained use):
 - :mod:`repro.streaming` — in-process topics + discrete-event scheduler
 - :mod:`repro.chaos` — seeded fault injection over the pipeline surfaces
 - :mod:`repro.obs` — run telemetry: metrics registry, phase spans, clocks
+- :mod:`repro.artifacts` — content-addressed phase cache (warm re-runs)
 - :mod:`repro.core` — the paper's join pipeline and analyses
 - :mod:`repro.datasets` — open-resolver scan, dataset bundle I/O
 """
 
 from repro.core.pipeline import Study, run_study
 from repro.core.reactive import ReactivePlatform
+from repro.artifacts.cache import PhaseCache
+from repro.artifacts.store import ArtifactStore
 from repro.chaos.injector import FaultInjector
 from repro.chaos.policy import ChaosConfig, FaultPolicy
 from repro.obs import MetricsRegistry, RunTelemetry
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Study",
     "run_study",
     "ReactivePlatform",
+    "ArtifactStore",
+    "PhaseCache",
     "ChaosConfig",
     "FaultPolicy",
     "FaultInjector",

@@ -1,0 +1,125 @@
+"""Deterministic phase fingerprints: what makes a cache entry valid.
+
+A phase's cache key is a sha256 over everything its output can depend
+on, and *nothing* else:
+
+- the canonicalized :class:`~repro.world.config.WorldConfig` — every
+  knob, including the nested :class:`~repro.dns.resolver.ResolverConfig`
+  and :class:`~repro.attacks.generator.AttackScheduleConfig` (the
+  world and both measurement systems are pure functions of it plus the
+  seed it carries);
+- whether scripted scenarios were installed into the world;
+- the phase name and its serializer's schema version (bumping a
+  version in :data:`SCHEMA_VERSIONS` invalidates exactly that phase's
+  entries — and, through chaining, every phase downstream of it);
+- the keys of its upstream phases (``join`` chains ``telescope``;
+  ``events`` chains ``join`` and ``crawl``).
+
+Worker count, telemetry, and progress callbacks are deliberately
+absent: the crawl is bit-for-bit worker-count-invariant (PR 2) and
+telemetry observes without perturbing (PR 3), so neither can change a
+phase's output. Chaos runs never consult the cache at all (see
+:mod:`repro.artifacts.cache`), so fault schedules need no key.
+
+Keys are pure functions of their inputs — no clocks, no RNG, no
+environment — so the same config produces the same keys in any
+process on any machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Sequence
+
+from repro.world.config import WorldConfig
+
+__all__ = ["SCHEMA_VERSIONS", "PHASES", "canonical_config",
+           "config_fingerprint", "phase_key", "study_keys"]
+
+#: Serializer schema version per cacheable phase. Bump a version when
+#: its artifact format (or the semantics of the phase itself) changes;
+#: chaining invalidates everything downstream automatically.
+SCHEMA_VERSIONS: Dict[str, int] = {
+    "telescope": 1,
+    "crawl": 1,
+    "join": 1,
+    "events": 1,
+}
+
+#: Cacheable phases in pipeline order.
+PHASES = ("telescope", "crawl", "join", "events")
+
+
+def _canonical(value: object) -> object:
+    """Recursively reduce a config value to JSON-stable primitives.
+
+    Dataclasses carry their class name so two structurally-identical
+    but semantically-different configs can never collide.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"__class__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting")
+
+
+def canonical_config(config: WorldConfig,
+                     install_scenarios: bool = True) -> str:
+    """The canonical JSON form of a world config (stable key order,
+    exact floats — ``json`` emits ``repr``-round-trippable literals)."""
+    doc = {
+        "config": _canonical(config),
+        "install_scenarios": bool(install_scenarios),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: WorldConfig,
+                       install_scenarios: bool = True) -> str:
+    """sha256 hex digest of the canonical config — the base every
+    phase key chains from."""
+    text = canonical_config(config, install_scenarios)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def phase_key(phase: str, base: str,
+              upstream: Sequence[str] = ()) -> str:
+    """The cache key of one phase: hash of (phase, schema version,
+    base config fingerprint, upstream phase keys, in order)."""
+    version = SCHEMA_VERSIONS[phase]
+    h = hashlib.sha256()
+    h.update(f"repro.artifacts/{phase}/v{version}\n".encode("utf-8"))
+    h.update(f"{base}\n".encode("utf-8"))
+    for up in upstream:
+        h.update(f"{up}\n".encode("utf-8"))
+    return h.hexdigest()
+
+
+def study_keys(config: WorldConfig,
+               install_scenarios: bool = True) -> Dict[str, str]:
+    """The full chained key set of one study configuration.
+
+    ``telescope`` and ``crawl`` hang directly off the config (they are
+    independent measurements of the same world); ``join`` consumes the
+    telescope's feed, and ``events`` consumes the join and the crawl's
+    measurement store — the chain mirrors the §4 dataflow, so
+    invalidating an upstream phase invalidates its consumers and only
+    its consumers.
+    """
+    base = config_fingerprint(config, install_scenarios)
+    telescope = phase_key("telescope", base)
+    crawl = phase_key("crawl", base)
+    join = phase_key("join", base, upstream=(telescope,))
+    events = phase_key("events", base, upstream=(join, crawl))
+    return {"telescope": telescope, "crawl": crawl,
+            "join": join, "events": events}

@@ -14,11 +14,19 @@ Subcommands:
     and print its timeline tables.
 ``visibility``
     Print the §4.3 limitations quantified against ground truth.
+``cache``
+    Inspect and maintain an artifact cache directory: ``ls`` the
+    manifest, ``gc`` down to a byte cap, or ``clear`` everything.
 
 Every subcommand accepts ``--trace`` (print the phase-timing tree to
 stderr afterwards) and ``--metrics-out PATH`` (write the run's
 ``repro.obs/v1`` telemetry snapshot as JSON). Both only observe: stdout
 is byte-identical with or without them.
+
+Every study-running subcommand also accepts ``--cache-dir PATH``: phase
+outputs (telescope feed, crawl store, join, events) are cached there by
+config fingerprint, and later runs with the same config skip those
+phases — with bit-identical stdout (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
@@ -55,6 +63,15 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                              "pre-built world (default 1 = serial); the "
                              "results are bit-for-bit identical for any "
                              "N, chaos runs force serial")
+    _add_cache_args(parser)
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="cache phase outputs under PATH (created if "
+                             "missing) and skip phases already cached for "
+                             "this config; outputs are bit-identical warm "
+                             "or cold, chaos runs bypass the cache")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -123,7 +140,8 @@ def _run(args: argparse.Namespace):
     clock = telemetry.clock
     t0 = clock.now()
     study = run_study(config, chaos=chaos, n_workers=workers,
-                      telemetry=telemetry)
+                      telemetry=telemetry,
+                      cache=getattr(args, "cache_dir", None))
     print(f"done in {clock.now() - t0:.1f}s", file=sys.stderr)
     if study.chaos is not None:
         print(study.chaos.summary(), file=sys.stderr)
@@ -199,6 +217,49 @@ def cmd_visibility(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.artifacts.store import ArtifactStore
+
+    if not args.cache_dir:
+        print("cache commands require --cache-dir", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "ls":
+        entries = store.entries()
+        table = Table(["key", "phase", "size (B)", "created", "last used"],
+                      title=f"Artifact cache {args.cache_dir} "
+                            f"({len(entries)} entries, "
+                            f"{store.total_bytes} bytes)")
+        for entry in entries:
+            table.add_row([entry.key[:16], entry.phase or "-", entry.size,
+                           _format_ts(entry.created),
+                           _format_ts(entry.last_used)])
+        print(table.render())
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("cache gc requires --max-bytes", file=sys.stderr)
+            return 2
+        evicted = store.gc(args.max_bytes)
+        freed = sum(e.size for e in evicted)
+        print(f"evicted {len(evicted)} entries ({freed} bytes); "
+              f"{len(store)} remain ({store.total_bytes} bytes)")
+        return 0
+    if args.action == "clear":
+        dropped = store.clear()
+        print(f"cleared {dropped} entries from {args.cache_dir}")
+        return 0
+    raise AssertionError(f"unknown cache action {args.action!r}")
+
+
+def _format_ts(ts: float) -> str:
+    import datetime
+
+    if not ts:
+        return "-"
+    return datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(p_vis)
     _add_obs_args(p_vis)
     p_vis.set_defaults(func=cmd_visibility)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect/maintain an artifact cache")
+    p_cache.add_argument("action", choices=("ls", "gc", "clear"))
+    _add_cache_args(p_cache)
+    p_cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                         help="gc: evict least-recently-used entries until "
+                              "the cache fits N bytes")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
-if TYPE_CHECKING:  # avoid a core <-> chaos import cycle at runtime
+if TYPE_CHECKING:  # avoid a core <-> chaos/artifacts import cycle at runtime
+    from repro.artifacts.cache import PhaseCache
+    from repro.artifacts.store import ArtifactStore
     from repro.chaos.injector import FaultInjector
     from repro.chaos.policy import ChaosConfig
 
@@ -165,7 +167,9 @@ def run_study(config: Optional[WorldConfig] = None,
               install_scenarios: bool = True,
               chaos: Optional["ChaosConfig"] = None,
               n_workers: int = 1,
-              telemetry: Optional[RunTelemetry] = None) -> Study:
+              telemetry: Optional[RunTelemetry] = None,
+              cache: Optional[Union[str, "ArtifactStore",
+                                    "PhaseCache"]] = None) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
 
@@ -195,9 +199,47 @@ def run_study(config: Optional[WorldConfig] = None,
     ingest totals. Telemetry observes only — it draws from no seeded
     RNG, and every study output is bit-identical whether it is enabled
     or the default no-op bundle (a test asserts this).
+
+    ``cache`` enables the :mod:`repro.artifacts` phase cache: a cache
+    directory path (created if missing), an
+    :class:`~repro.artifacts.store.ArtifactStore`, or a ready
+    :class:`~repro.artifacts.cache.PhaseCache`. Each expensive phase
+    (telescope, crawl, join, events) is keyed by a fingerprint chained
+    from the canonical config; on a hit the phase is skipped — its span
+    is annotated ``cached=True`` and ``repro.cache.*`` counters record
+    the traffic — and on a miss the freshly-computed artifact is
+    stored. Warm-cache output is bit-identical to cold, at any worker
+    count (tests assert it). Chaos runs bypass the cache entirely
+    (faults must never be cached), as do runs on a pre-built ``world``
+    (its build flags cannot be fingerprinted); both warn.
     """
     telemetry = telemetry or NULL_TELEMETRY
     tracer = telemetry.tracer
+
+    phase_cache: Optional["PhaseCache"] = None
+    keys = {}
+    if cache is not None:
+        if chaos is not None:
+            import warnings
+
+            warnings.warn(
+                "chaos runs bypass the artifact cache: injected faults "
+                "must never be cached nor replayed from it",
+                RuntimeWarning, stacklevel=2)
+        elif world is not None:
+            import warnings
+
+            warnings.warn(
+                "a pre-built world cannot be fingerprinted (its build "
+                "flags are unknown); pass a config instead of a world "
+                "to use the artifact cache",
+                RuntimeWarning, stacklevel=2)
+        else:
+            from repro.artifacts.cache import PhaseCache
+            from repro.artifacts.fingerprint import study_keys
+
+            phase_cache = PhaseCache.open(cache, telemetry=telemetry)
+            keys = study_keys(config or WorldConfig(), install_scenarios)
     with tracer.span("study") as study_span:
         if world is None:
             config = config or WorldConfig()
@@ -215,34 +257,50 @@ def run_study(config: Optional[WorldConfig] = None,
             injector = FaultInjector(chaos, telemetry=telemetry)
 
         with tracer.span("telescope") as span:
-            darknet = Darknet()
-            simulator = BackscatterSimulator(
-                darknet, world.rngs.stream("telescope"),
-                link_util_fn=_link_util_fn(world),
-                headroom=config.headroom)
-            feed = RSDoSFeed.observe(world.attacks, simulator)
+            feed = (phase_cache.fetch("telescope", keys["telescope"])
+                    if phase_cache is not None else None)
+            if feed is None:
+                darknet = Darknet()
+                simulator = BackscatterSimulator(
+                    darknet, world.rngs.stream("telescope"),
+                    link_util_fn=_link_util_fn(world),
+                    headroom=config.headroom)
+                feed = RSDoSFeed.observe(world.attacks, simulator)
+                if phase_cache is not None:
+                    phase_cache.save("telescope", keys["telescope"], feed)
+            else:
+                span.annotate(cached=True)
             span.annotate(attacks_inferred=len(feed.attacks))
 
-        transport = (injector.wrap_transport(world.transport)
-                     if injector is not None else None)
-        platform = OpenIntelPlatform(world, transport=transport,
-                                     telemetry=telemetry)
-        if injector is not None:
-            injector.wrap_store_ingest(platform.store)
-            if n_workers != 1:
-                import warnings
+        store = (phase_cache.fetch("crawl", keys["crawl"])
+                 if phase_cache is not None else None)
+        if store is None:
+            transport = (injector.wrap_transport(world.transport)
+                         if injector is not None else None)
+            platform = OpenIntelPlatform(world, transport=transport,
+                                         telemetry=telemetry)
+            if injector is not None:
+                injector.wrap_store_ingest(platform.store)
+                if n_workers != 1:
+                    import warnings
 
-                warnings.warn(
-                    "chaos runs force a serial crawl: the fault injector is "
-                    "stateful (burst state, fault log, RNG streams), so its "
-                    "schedule cannot be sharded across forked workers",
-                    RuntimeWarning, stacklevel=2)
-                n_workers = 1
-        with tracer.span("crawl") as span:
-            store = platform.run_parallel(n_workers, progress=progress)
-            span.annotate(workers=n_workers, rows=store.n_measurements)
-            if platform.stats is not None:
-                platform.stats.publish(telemetry.registry)
+                    warnings.warn(
+                        "chaos runs force a serial crawl: the fault injector "
+                        "is stateful (burst state, fault log, RNG streams), "
+                        "so its schedule cannot be sharded across forked "
+                        "workers",
+                        RuntimeWarning, stacklevel=2)
+                    n_workers = 1
+            with tracer.span("crawl") as span:
+                store = platform.run_parallel(n_workers, progress=progress)
+                span.annotate(workers=n_workers, rows=store.n_measurements)
+                if platform.stats is not None:
+                    platform.stats.publish(telemetry.registry)
+            if phase_cache is not None:
+                phase_cache.save("crawl", keys["crawl"], store)
+        else:
+            with tracer.span("crawl") as span:
+                span.annotate(cached=True, rows=store.n_measurements)
         if injector is not None:
             injector.corrupt_store(store)
 
@@ -255,15 +313,29 @@ def run_study(config: Optional[WorldConfig] = None,
 
         with tracer.span("join") as span:
             open_resolvers = OpenResolverScan.from_world(world)
-            join = join_datasets(feed_attacks, world.directory,
-                                 open_resolvers)
+            join = (phase_cache.fetch("join", keys["join"])
+                    if phase_cache is not None else None)
+            if join is None:
+                join = join_datasets(feed_attacks, world.directory,
+                                     open_resolvers)
+                if phase_cache is not None:
+                    phase_cache.save("join", keys["join"], join)
+            else:
+                span.annotate(cached=True)
             span.annotate(records=len(join.classified),
                           rejected=len(join.rejected))
         with tracer.span("events") as span:
             metadata = NSSetMetadata(world.directory, world.prefix2as,
                                      world.as2org, world.census)
-            events = extract_events(join, store, metadata,
-                                    min_domains=config.event_min_domains)
+            events = (phase_cache.fetch("events", keys["events"])
+                      if phase_cache is not None else None)
+            if events is None:
+                events = extract_events(join, store, metadata,
+                                        min_domains=config.event_min_domains)
+                if phase_cache is not None:
+                    phase_cache.save("events", keys["events"], events)
+            else:
+                span.annotate(cached=True)
             span.annotate(events=len(events))
         store.publish_metrics(telemetry.registry)
     return Study(config=config, world=world, feed=feed, store=store,

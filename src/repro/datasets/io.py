@@ -3,6 +3,13 @@
 Lets users export the simulated feeds (RSDoS records, prefix2AS, AS2Org,
 anycast census, open-resolver scan) in the text formats the rest of the
 library loads, so analyses can be re-run without re-simulating.
+
+Writes are crash-safe: every file goes through
+:func:`repro.util.fileio.atomic_write` (temp file + ``os.replace``), so
+an interrupted export can never leave a truncated dataset behind. Loads
+are diagnosable: a damaged file raises :class:`DatasetBundleError`
+naming the offending path, never a bare parse error from deep inside a
+format module.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from repro.datasets.openresolvers import OpenResolverScan
 from repro.telescope.feed import RSDoSFeed
 from repro.topology.as2org import AS2Org
 from repro.topology.prefix2as import Prefix2AS
+from repro.util.fileio import atomic_write
 
 _FILES = {
     "rsdos": "rsdos_records.csv",
@@ -24,6 +32,10 @@ _FILES = {
     "census": "anycast_census.jsonl",
     "openresolvers": "open_resolvers.json",
 }
+
+
+class DatasetBundleError(ValueError):
+    """A bundle file exists but cannot be parsed."""
 
 
 @dataclass
@@ -42,46 +54,56 @@ def dataset_bundle_dump(path: str, feed: Optional[RSDoSFeed] = None,
                         as2org: Optional[AS2Org] = None,
                         census: Optional[AnycastCensus] = None,
                         openresolvers: Optional[OpenResolverScan] = None) -> None:
-    """Write whichever datasets are provided under ``path``."""
+    """Write whichever datasets are provided under ``path``, atomically
+    per file."""
     os.makedirs(path, exist_ok=True)
     if feed is not None:
-        with open(os.path.join(path, _FILES["rsdos"]), "w") as fp:
+        with atomic_write(os.path.join(path, _FILES["rsdos"])) as fp:
             feed.dump_records(fp)
     if prefix2as is not None:
-        with open(os.path.join(path, _FILES["prefix2as"]), "w") as fp:
+        with atomic_write(os.path.join(path, _FILES["prefix2as"])) as fp:
             prefix2as.dump(fp)
     if as2org is not None:
-        with open(os.path.join(path, _FILES["as2org"]), "w") as fp:
+        with atomic_write(os.path.join(path, _FILES["as2org"])) as fp:
             as2org.dump(fp)
     if census is not None:
-        with open(os.path.join(path, _FILES["census"]), "w") as fp:
+        with atomic_write(os.path.join(path, _FILES["census"])) as fp:
             census.dump(fp)
     if openresolvers is not None:
-        with open(os.path.join(path, _FILES["openresolvers"]), "w") as fp:
+        with atomic_write(os.path.join(path, _FILES["openresolvers"])) as fp:
             openresolvers.dump(fp)
 
 
+def _load_file(path: str, loader):
+    """Parse one bundle file, wrapping any parse failure with the path."""
+    with open(path) as fp:
+        try:
+            return loader(fp)
+        except Exception as exc:
+            raise DatasetBundleError(
+                f"corrupt dataset file {path}: {exc}") from exc
+
+
 def dataset_bundle_load(path: str) -> DatasetBundle:
-    """Load whatever datasets exist under ``path``."""
+    """Load whatever datasets exist under ``path``.
+
+    Absent files simply leave their bundle slot ``None``; a present but
+    unparseable file raises :class:`DatasetBundleError` naming it.
+    """
     bundle = DatasetBundle()
     rsdos_path = os.path.join(path, _FILES["rsdos"])
     if os.path.exists(rsdos_path):
-        with open(rsdos_path) as fp:
-            bundle.feed_records = RSDoSFeed.load_records(fp)
+        bundle.feed_records = _load_file(rsdos_path, RSDoSFeed.load_records)
     p2a_path = os.path.join(path, _FILES["prefix2as"])
     if os.path.exists(p2a_path):
-        with open(p2a_path) as fp:
-            bundle.prefix2as = Prefix2AS.load(fp)
+        bundle.prefix2as = _load_file(p2a_path, Prefix2AS.load)
     a2o_path = os.path.join(path, _FILES["as2org"])
     if os.path.exists(a2o_path):
-        with open(a2o_path) as fp:
-            bundle.as2org = AS2Org.load(fp)
+        bundle.as2org = _load_file(a2o_path, AS2Org.load)
     census_path = os.path.join(path, _FILES["census"])
     if os.path.exists(census_path):
-        with open(census_path) as fp:
-            bundle.census = AnycastCensus.load(fp)
+        bundle.census = _load_file(census_path, AnycastCensus.load)
     or_path = os.path.join(path, _FILES["openresolvers"])
     if os.path.exists(or_path):
-        with open(or_path) as fp:
-            bundle.openresolvers = OpenResolverScan.load(fp)
+        bundle.openresolvers = _load_file(or_path, OpenResolverScan.load)
     return bundle

@@ -77,8 +77,16 @@ class RunTelemetry:
         }
 
     def write_json(self, path: str) -> None:
-        """Write :meth:`snapshot` to ``path`` as pretty-printed JSON."""
-        with open(path, "w") as fp:
+        """Write :meth:`snapshot` to ``path`` as pretty-printed JSON.
+
+        The write is atomic (temp file + ``os.replace``) and missing
+        parent directories are created, so ``--metrics-out`` can point
+        into a fresh results tree and a crash mid-write can never leave
+        a truncated snapshot behind.
+        """
+        from repro.util.fileio import atomic_write
+
+        with atomic_write(path) as fp:
             json.dump(self.snapshot(), fp, indent=2, sort_keys=True)
             fp.write("\n")
 

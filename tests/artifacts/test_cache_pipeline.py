@@ -1,0 +1,134 @@
+"""Pipeline integration for the phase cache: the ISSUE's acceptance bar.
+
+Warm-cache ``run_study`` output must be bit-identical to the cold run
+that populated the cache — at 1, 2, and 4 workers — the warm run must
+visibly skip the telescope and crawl phases (cached spans and
+``repro.cache.hits > 0``), and chaos runs must never read or write the
+cache.
+"""
+
+import warnings
+
+import pytest
+
+from repro import WorldConfig, build_world, run_study
+from repro.artifacts.fingerprint import PHASES
+from repro.artifacts.store import ArtifactStore
+from repro.chaos import ChaosConfig, FaultPolicy
+from repro.obs import RunTelemetry
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("artifact-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_study(cache_dir):
+    """The cache-populating run: every phase misses, computes, stores."""
+    return run_study(WorldConfig.tiny(), cache=cache_dir)
+
+
+def _counter_total(telemetry, name):
+    counters = telemetry.snapshot()["metrics"]["counters"]
+    return sum(v for k, v in counters.items() if k.startswith(name))
+
+
+def _cached_span_names(telemetry):
+    names = []
+
+    def walk(spans):
+        for span in spans:
+            if span.get("meta", {}).get("cached"):
+                names.append(span["name"])
+            walk(span.get("children", []))
+
+    walk(telemetry.snapshot()["spans"])
+    return names
+
+
+class TestColdRunPopulates:
+    def test_every_phase_stored(self, cold_study, cache_dir):
+        store = ArtifactStore(cache_dir)
+        assert len(store) == len(PHASES)
+        assert sorted(e.phase for e in store.entries()) == sorted(PHASES)
+
+    def test_cold_run_counts_misses_then_writes(self, tmp_path):
+        telemetry = RunTelemetry.create()
+        run_study(WorldConfig.tiny(), cache=str(tmp_path / "fresh"),
+                  telemetry=telemetry)
+        assert _counter_total(telemetry, "repro.cache.misses") == len(PHASES)
+        assert _counter_total(telemetry, "repro.cache.hits") == 0
+        assert _counter_total(telemetry, "repro.cache.bytes_written") > 0
+
+
+class TestWarmColdEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_warm_output_bit_identical(self, cold_study, cache_dir,
+                                       n_workers):
+        warm = run_study(WorldConfig.tiny(), cache=cache_dir,
+                         n_workers=n_workers)
+        assert warm.report() == cold_study.report()
+        assert warm.store == cold_study.store
+        assert warm.feed.attacks == cold_study.feed.attacks
+        assert warm.join.classified == cold_study.join.classified
+        assert warm.events == cold_study.events
+
+    def test_warm_run_hits_every_phase(self, cold_study, cache_dir):
+        telemetry = RunTelemetry.create()
+        run_study(WorldConfig.tiny(), cache=cache_dir, telemetry=telemetry)
+        assert _counter_total(telemetry, "repro.cache.hits") == len(PHASES)
+        assert _counter_total(telemetry, "repro.cache.misses") == 0
+        assert _counter_total(telemetry, "repro.cache.bytes_read") > 0
+
+    def test_warm_run_marks_spans_cached(self, cold_study, cache_dir):
+        telemetry = RunTelemetry.create()
+        run_study(WorldConfig.tiny(), cache=cache_dir, telemetry=telemetry)
+        cached = _cached_span_names(telemetry)
+        # The acceptance bar: telescope + crawl visibly skipped.
+        assert "telescope" in cached and "crawl" in cached
+        assert set(cached) == set(PHASES)
+
+    def test_different_seed_misses(self, cold_study, cache_dir):
+        telemetry = RunTelemetry.create()
+        run_study(WorldConfig.tiny(seed=7), cache=cache_dir,
+                  telemetry=telemetry)
+        assert _counter_total(telemetry, "repro.cache.hits") == 0
+        assert _counter_total(telemetry, "repro.cache.misses") == len(PHASES)
+
+
+class TestCacheBypass:
+    def test_chaos_never_reads_or_writes_cache(self, cold_study, cache_dir):
+        store = ArtifactStore(cache_dir)
+        before = {(e.key, e.size, e.last_used) for e in store.entries()}
+        telemetry = RunTelemetry.create()
+        chaos = ChaosConfig(seed=5, transport=FaultPolicy(drop_p=0.05))
+        with pytest.warns(RuntimeWarning, match="chaos runs bypass"):
+            run_study(WorldConfig.tiny(), cache=cache_dir, chaos=chaos,
+                      telemetry=telemetry)
+        after = {(e.key, e.size, e.last_used) for e in store.entries()}
+        assert after == before  # nothing read (no last_used stamp), nothing written
+        assert _counter_total(telemetry, "repro.cache.hits") == 0
+        assert _counter_total(telemetry, "repro.cache.misses") == 0
+        assert _counter_total(telemetry, "repro.cache.bytes_written") == 0
+
+    def test_prebuilt_world_bypasses_with_warning(self, cache_dir):
+        world = build_world(WorldConfig.tiny(seed=11))
+        store = ArtifactStore(cache_dir)
+        n_before = len(store)
+        with pytest.warns(RuntimeWarning, match="pre-built world"):
+            run_study(world=world, cache=cache_dir)
+        assert len(store) == n_before
+
+    def test_clean_cache_run_emits_no_warning(self, cold_study, cache_dir):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_study(WorldConfig.tiny(), cache=cache_dir)
+
+
+class TestCacheArgumentForms:
+    def test_accepts_artifact_store(self, cold_study, cache_dir):
+        telemetry = RunTelemetry.create()
+        run_study(WorldConfig.tiny(), cache=ArtifactStore(cache_dir),
+                  telemetry=telemetry)
+        assert _counter_total(telemetry, "repro.cache.hits") == len(PHASES)

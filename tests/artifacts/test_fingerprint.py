@@ -1,0 +1,92 @@
+"""Tests for deterministic phase fingerprints and key chaining."""
+
+import json
+
+import pytest
+
+from repro.artifacts import fingerprint
+from repro.artifacts.fingerprint import (PHASES, canonical_config,
+                                         config_fingerprint, phase_key,
+                                         study_keys)
+from repro.world.config import WorldConfig
+from repro.dns.resolver import ResolverConfig
+
+
+class TestCanonicalConfig:
+    def test_is_valid_json_with_class_names(self):
+        doc = json.loads(canonical_config(WorldConfig.tiny()))
+        assert doc["config"]["__class__"] == "WorldConfig"
+        assert doc["config"]["resolver"]["__class__"] == "ResolverConfig"
+        assert doc["config"]["schedule"]["__class__"] == "AttackScheduleConfig"
+        assert doc["install_scenarios"] is True
+
+    def test_identical_configs_canonicalize_identically(self):
+        assert canonical_config(WorldConfig.tiny()) == \
+            canonical_config(WorldConfig.tiny())
+
+    def test_rejects_unserializable_values(self):
+        with pytest.raises(TypeError):
+            fingerprint._canonical(object())
+
+
+class TestConfigFingerprint:
+    def test_deterministic(self):
+        assert config_fingerprint(WorldConfig.tiny()) == \
+            config_fingerprint(WorldConfig.tiny())
+
+    def test_seed_changes_fingerprint(self):
+        assert config_fingerprint(WorldConfig.tiny(seed=1)) != \
+            config_fingerprint(WorldConfig.tiny(seed=2))
+
+    def test_nested_resolver_knob_changes_fingerprint(self):
+        import dataclasses
+
+        base = WorldConfig.tiny()
+        tweaked = dataclasses.replace(
+            base, resolver=ResolverConfig(max_attempts=3))
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+    def test_install_scenarios_changes_fingerprint(self):
+        cfg = WorldConfig.tiny()
+        assert config_fingerprint(cfg, install_scenarios=True) != \
+            config_fingerprint(cfg, install_scenarios=False)
+
+
+class TestStudyKeys:
+    def test_covers_every_phase_with_distinct_keys(self):
+        keys = study_keys(WorldConfig.tiny())
+        assert set(keys) == set(PHASES)
+        assert len(set(keys.values())) == len(PHASES)
+
+    def test_deterministic_across_calls(self):
+        assert study_keys(WorldConfig.tiny()) == study_keys(WorldConfig.tiny())
+
+    def test_config_change_invalidates_every_phase(self):
+        a = study_keys(WorldConfig.tiny(seed=1))
+        b = study_keys(WorldConfig.tiny(seed=2))
+        for phase in PHASES:
+            assert a[phase] != b[phase]
+
+    def test_upstream_key_chains_into_downstream(self):
+        base = config_fingerprint(WorldConfig.tiny())
+        join_a = phase_key("join", base, upstream=("tele-a",))
+        join_b = phase_key("join", base, upstream=("tele-b",))
+        assert join_a != join_b
+
+    def test_schema_version_bump_invalidates_phase_and_downstream(
+            self, monkeypatch):
+        cfg = WorldConfig.tiny()
+        before = study_keys(cfg)
+        monkeypatch.setitem(fingerprint.SCHEMA_VERSIONS, "telescope", 99)
+        after = study_keys(cfg)
+        assert after["telescope"] != before["telescope"]
+        # join chains telescope; events chains join.
+        assert after["join"] != before["join"]
+        assert after["events"] != before["events"]
+        # crawl does not consume the telescope: unaffected.
+        assert after["crawl"] == before["crawl"]
+
+    def test_keys_are_sha256_hex(self):
+        for key in study_keys(WorldConfig.tiny()).values():
+            assert len(key) == 64
+            int(key, 16)  # parses as hex

@@ -1,0 +1,124 @@
+"""Dataset-bundle round-trips: dump -> load -> semantic equality.
+
+Semantic equality is asserted the strongest way the text formats allow:
+re-dumping a loaded bundle must reproduce every file byte-for-byte (the
+formats are deterministic), plus per-kind content checks. A partial
+bundle leaves absent slots ``None``; a corrupt file raises
+:class:`DatasetBundleError` naming the offending path.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.io import (_FILES, DatasetBundleError,
+                               dataset_bundle_dump, dataset_bundle_load)
+from repro.net.ip import parse_ip
+from repro.telescope.feed import RSDoSFeed
+
+
+def _dump_full(path, study):
+    dataset_bundle_dump(
+        path,
+        feed=study.feed,
+        prefix2as=study.world.prefix2as,
+        as2org=study.world.as2org,
+        census=study.world.census,
+        openresolvers=study.open_resolvers,
+    )
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tmp_path_factory, tiny_study):
+    path = str(tmp_path_factory.mktemp("bundles") / "full")
+    _dump_full(path, tiny_study)
+    return path
+
+
+class TestSemanticEquality:
+    def test_redump_is_byte_identical(self, bundle_dir, tmp_path):
+        """Every dataset kind survives dump -> load -> dump unchanged."""
+        loaded = dataset_bundle_load(bundle_dir)
+        second = str(tmp_path / "second")
+        dataset_bundle_dump(
+            second,
+            feed=RSDoSFeed(loaded.feed_records, []),
+            prefix2as=loaded.prefix2as,
+            as2org=loaded.as2org,
+            census=loaded.census,
+            openresolvers=loaded.openresolvers,
+        )
+        for filename in _FILES.values():
+            a = os.path.join(bundle_dir, filename)
+            b = os.path.join(second, filename)
+            with open(a, "rb") as fa, open(b, "rb") as fb:
+                assert fa.read() == fb.read(), filename
+
+    def test_feed_records_match(self, bundle_dir, tiny_study):
+        loaded = dataset_bundle_load(bundle_dir)
+        assert len(loaded.feed_records) == len(tiny_study.feed.records)
+        got = loaded.feed_records[0]
+        want = tiny_study.feed.records[0]
+        assert (got.window_ts, got.victim_ip) == \
+            (want.window_ts, want.victim_ip)
+
+    def test_prefix2as_lookups_match(self, bundle_dir, tiny_study):
+        loaded = dataset_bundle_load(bundle_dir)
+        original = tiny_study.world.prefix2as
+        assert len(loaded.prefix2as) == len(list(original.entries()))
+        for prefix, asn in list(original.entries())[:50]:
+            assert loaded.prefix2as.lookup(prefix.network) == asn
+
+    def test_as2org_names_match(self, bundle_dir, tiny_study):
+        loaded = dataset_bundle_load(bundle_dir)
+        original = tiny_study.world.as2org
+        assert len(loaded.as2org) == len(original)
+
+    def test_census_snapshots_match(self, bundle_dir, tiny_study):
+        loaded = dataset_bundle_load(bundle_dir)
+        assert len(loaded.census.snapshots) == \
+            len(tiny_study.world.census.snapshots)
+
+    def test_openresolvers_membership_matches(self, bundle_dir, tiny_study):
+        loaded = dataset_bundle_load(bundle_dir)
+        assert len(loaded.openresolvers) == len(tiny_study.open_resolvers)
+        assert parse_ip("8.8.8.8") in loaded.openresolvers
+
+
+class TestPartialBundle:
+    def test_absent_files_leave_slots_none(self, tmp_path, tiny_study):
+        path = str(tmp_path / "partial")
+        dataset_bundle_dump(path, feed=tiny_study.feed,
+                            openresolvers=tiny_study.open_resolvers)
+        bundle = dataset_bundle_load(path)
+        assert bundle.feed_records is not None
+        assert bundle.openresolvers is not None
+        assert bundle.prefix2as is None
+        assert bundle.as2org is None
+        assert bundle.census is None
+
+    def test_empty_directory_loads_all_none(self, tmp_path):
+        path = str(tmp_path / "empty")
+        os.makedirs(path)
+        bundle = dataset_bundle_load(path)
+        assert all(getattr(bundle, slot) is None for slot in
+                   ("feed_records", "prefix2as", "as2org", "census",
+                    "openresolvers"))
+
+
+class TestCorruptFiles:
+    @pytest.mark.parametrize("kind", sorted(_FILES))
+    def test_corrupt_file_raises_naming_path(self, bundle_dir, tmp_path,
+                                             tiny_study, kind):
+        """Damage each dataset kind in turn; the error names the file."""
+        path = str(tmp_path / "corrupt")
+        _dump_full(path, tiny_study)
+        victim = os.path.join(path, _FILES[kind])
+        with open(victim, "w") as fp:
+            fp.write("this is not a valid dataset file\n")
+        with pytest.raises(DatasetBundleError) as excinfo:
+            dataset_bundle_load(path)
+        assert victim in str(excinfo.value)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(DatasetBundleError, ValueError)

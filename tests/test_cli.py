@@ -87,3 +87,76 @@ class TestTelemetryFlags:
                      str(tmp_path / "m.json")] + FAST_ARGS) == 0
         traced = capsys.readouterr().out
         assert traced == plain
+
+    def test_metrics_out_creates_parent_dirs(self, tmp_path, capsys):
+        path = str(tmp_path / "deep" / "nested" / "metrics.json")
+        assert main(["report", "--metrics-out", path] + FAST_ARGS) == 0
+        capsys.readouterr()
+        with open(path) as fp:
+            assert json.load(fp)["schema"] == SNAPSHOT_SCHEMA
+
+
+class TestCacheFlags:
+    def test_cache_dir_on_every_study_subcommand(self):
+        for argv in (["report"], ["export"], ["visibility"]):
+            args = build_parser().parse_args(argv + ["--cache-dir", "/tmp/c"])
+            assert args.cache_dir == "/tmp/c"
+
+    def test_cache_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["cache", "gc", "--cache-dir", "/tmp/c", "--max-bytes", "100"])
+        assert args.action == "gc"
+        assert args.max_bytes == 100
+
+    def test_warm_run_stdout_byte_identical_and_hits(self, tmp_path, capsys):
+        """The CI cache job's contract, asserted in-process: the second
+        run over the same --cache-dir hits and prints identical bytes."""
+        cache_dir = str(tmp_path / "deep" / "cache")  # parent dirs created
+        cold_metrics = str(tmp_path / "cold.json")
+        warm_metrics = str(tmp_path / "warm.json")
+        assert main(["report", "--cache-dir", cache_dir,
+                     "--metrics-out", cold_metrics] + FAST_ARGS) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache_dir,
+                     "--metrics-out", warm_metrics] + FAST_ARGS) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        with open(cold_metrics) as fp:
+            cold_counters = json.load(fp)["metrics"]["counters"]
+        with open(warm_metrics) as fp:
+            warm_counters = json.load(fp)["metrics"]["counters"]
+        assert not any(k.startswith("repro.cache.hits")
+                       for k in cold_counters)
+        hits = sum(v for k, v in warm_counters.items()
+                   if k.startswith("repro.cache.hits"))
+        assert hits == 4  # telescope, crawl, join, events
+
+    def test_cache_ls_gc_clear(self, tmp_path, capsys):
+        from repro.artifacts.store import ArtifactStore
+
+        cache_dir = str(tmp_path / "cache")
+        store = ArtifactStore(cache_dir)
+        store.put("aa" * 32, b"x" * 30, phase="telescope")
+        store.put("bb" * 32, b"y" * 30, phase="crawl")
+
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "telescope" in out and "crawl" in out
+        assert "2 entries" in out and "60 bytes" in out
+
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--max-bytes", "30"]) == 0
+        assert "evicted 1 entries (30 bytes)" in capsys.readouterr().out
+        assert len(store) == 1
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        assert len(store) == 0
+
+    def test_cache_requires_cache_dir(self, capsys):
+        assert main(["cache", "ls"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_cache_gc_requires_max_bytes(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
