@@ -26,6 +26,7 @@ Subpackages (importable directly for finer-grained use):
 - :mod:`repro.chaos` — seeded fault injection over the pipeline surfaces
 - :mod:`repro.obs` — run telemetry: metrics registry, phase spans, clocks
 - :mod:`repro.artifacts` — content-addressed phase cache (warm re-runs)
+- :mod:`repro.engine` — declarative phase graph + middleware executor
 - :mod:`repro.core` — the paper's join pipeline and analyses
 - :mod:`repro.datasets` — open-resolver scan, dataset bundle I/O
 """
@@ -40,7 +41,7 @@ from repro.obs import MetricsRegistry, RunTelemetry
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Study",

@@ -17,6 +17,10 @@ Subcommands:
 ``cache``
     Inspect and maintain an artifact cache directory: ``ls`` the
     manifest, ``gc`` down to a byte cap, or ``clear`` everything.
+``graph``
+    Print the declared phase DAG (:mod:`repro.engine`) — every
+    pipeline phase and lazy analysis with its inputs — as text or,
+    with ``--dot``, in Graphviz DOT form.
 
 Every subcommand accepts ``--trace`` (print the phase-timing tree to
 stderr afterwards) and ``--metrics-out PATH`` (write the run's
@@ -252,6 +256,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown cache action {args.action!r}")
 
 
+def cmd_graph(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import study_graph
+
+    graph = study_graph(analyses=not args.no_analyses)
+    print(graph.to_dot() if args.dot else graph.render_text())
+    return 0
+
+
 def _format_ts(ts: float) -> str:
     import datetime
 
@@ -298,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gc: evict least-recently-used entries until "
                               "the cache fits N bytes")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_graph = sub.add_parser("graph",
+                             help="print the declared phase DAG")
+    p_graph.add_argument("--dot", action="store_true",
+                         help="emit Graphviz DOT instead of text")
+    p_graph.add_argument("--no-analyses", action="store_true",
+                         help="pipeline phases only, without the lazy "
+                              "analysis.* nodes")
+    p_graph.set_defaults(func=cmd_graph)
 
     return parser
 

@@ -1,15 +1,25 @@
 """Study orchestration: the end-to-end Figure-1 pipeline.
 
-``run_study`` builds (or accepts) a world, runs both measurement
-systems over it, joins their outputs, and extracts attack events. The
-resulting :class:`Study` lazily computes every analysis in the paper;
-benchmarks and examples all start here.
+The pipeline is *declared*, not hand-wired: every stage — world build,
+telescope, crawl, chaos damage, feed hardening, join, event extraction
+— is a :class:`repro.engine.Phase` node of :data:`STUDY_GRAPH`, and
+``run_study`` is a thin facade that executes that graph through the
+:class:`repro.engine.Executor`. Cross-cutting concerns (telemetry
+spans, :class:`~repro.artifacts.cache.PhaseCache` fetch/save, the
+chaos worker policy) are middleware applied uniformly to every node,
+so no per-phase plumbing lives here.
+
+The resulting :class:`Study` lazily computes every analysis in the
+paper; each analysis is itself a declared engine node (see
+:class:`repro.engine.cached_analysis`), traced as an ``analysis.*``
+span and memoized on first access. Benchmarks and examples all start
+here; ``python -m repro graph`` prints the full declared DAG.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from functools import cached_property
 from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 if TYPE_CHECKING:  # avoid a core <-> chaos/artifacts import cycle at runtime
@@ -33,6 +43,17 @@ from repro.core.nsset import NSSetMetadata
 from repro.core.ports import PortAnalysis, analyze_ports, analyze_successful_ports
 from repro.core.resilience import ResilienceAnalysis, analyze_resilience
 from repro.datasets.openresolvers import OpenResolverScan
+from repro.engine import (
+    CacheMiddleware,
+    Executor,
+    Phase,
+    PhaseGraph,
+    RunContext,
+    SpanMiddleware,
+    WorkerPolicy,
+    analysis_graph,
+    cached_analysis,
+)
 from repro.obs import NULL_TELEMETRY, RunTelemetry
 from repro.openintel.platform import OpenIntelPlatform
 from repro.openintel.storage import MeasurementStore
@@ -41,6 +62,34 @@ from repro.telescope.darknet import Darknet
 from repro.telescope.feed import RSDoSFeed
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
+
+
+# -- bypass warnings ----------------------------------------------------------
+
+#: why a chaos run cannot use the artifact cache.
+CHAOS_CACHE_REASON = (
+    "chaos runs bypass the artifact cache: injected faults "
+    "must never be cached nor replayed from it")
+#: why a pre-built world cannot use the artifact cache.
+PREBUILT_WORLD_REASON = (
+    "a pre-built world cannot be fingerprinted (its build "
+    "flags are unknown); pass a config instead of a world "
+    "to use the artifact cache")
+#: why a chaos run cannot shard the crawl.
+SERIAL_CRAWL_REASON = (
+    "chaos runs force a serial crawl: the fault injector "
+    "is stateful (burst state, fault log, RNG streams), "
+    "so its schedule cannot be sharded across forked "
+    "workers")
+
+
+def _warn_bypass(reason: str, stacklevel: int = 3) -> None:
+    """Emit one of the pipeline's feature-bypass warnings.
+
+    All bypasses are :class:`RuntimeWarning`: the run proceeds, with
+    the named feature (cache, sharded crawl) disabled.
+    """
+    warnings.warn(reason, RuntimeWarning, stacklevel=stacklevel)
 
 
 def _link_util_fn(world: World):
@@ -56,6 +105,174 @@ def _link_util_fn(world: World):
             return 0.0
         return world.load_at(ns, ts).link_util
     return fn
+
+
+# -- phase computes -----------------------------------------------------------
+
+def _chaos_enabled(ctx: RunContext) -> bool:
+    return ctx.params.get("injector") is not None
+
+
+def _build_configured_world(ctx: RunContext) -> World:
+    return build_world(ctx.params["config"],
+                       install_scenarios=ctx.params["install_scenarios"])
+
+
+def _observe_telescope(ctx: RunContext, world: World) -> RSDoSFeed:
+    darknet = Darknet()
+    simulator = BackscatterSimulator(
+        darknet, world.rngs.stream("telescope"),
+        link_util_fn=_link_util_fn(world),
+        headroom=ctx.params["config"].headroom)
+    return RSDoSFeed.observe(world.attacks, simulator)
+
+
+def _run_crawl(ctx: RunContext, world: World) -> MeasurementStore:
+    injector: Optional["FaultInjector"] = ctx.params.get("injector")
+    transport = (injector.wrap_transport(world.transport)
+                 if injector is not None else None)
+    platform = OpenIntelPlatform(world, transport=transport,
+                                 telemetry=ctx.telemetry)
+    if injector is not None:
+        injector.wrap_store_ingest(platform.store)
+    store = platform.run_parallel(ctx.params.get("n_workers", 1),
+                                  progress=ctx.params.get("progress"))
+    if platform.stats is not None:
+        platform.stats.publish(ctx.telemetry.registry)
+    return store
+
+
+def _corrupt_store(ctx: RunContext,
+                   crawl_store: MeasurementStore) -> MeasurementStore:
+    ctx.params["injector"].corrupt_store(crawl_store)
+    return crawl_store
+
+
+def _harden_feed(ctx: RunContext, feed: RSDoSFeed) -> List:
+    return ctx.params["injector"].harden_feed(feed.attacks)
+
+
+def _scan_open_resolvers(ctx: RunContext, world: World) -> OpenResolverScan:
+    return OpenResolverScan.from_world(world)
+
+
+def _join_feed_and_crawl(ctx: RunContext, feed_attacks, world: World,
+                         open_resolvers: OpenResolverScan) -> DatasetJoin:
+    return join_datasets(feed_attacks, world.directory, open_resolvers)
+
+
+def _build_metadata(ctx: RunContext, world: World) -> NSSetMetadata:
+    return NSSetMetadata(world.directory, world.prefix2as,
+                         world.as2org, world.census)
+
+
+def _extract_events(ctx: RunContext, join: DatasetJoin,
+                    store: MeasurementStore,
+                    metadata: NSSetMetadata) -> List[AttackEvent]:
+    return extract_events(join, store, metadata,
+                          min_domains=ctx.params["config"].event_min_domains)
+
+
+def _publish_store_metrics(ctx: RunContext,
+                           store: MeasurementStore) -> None:
+    store.publish_metrics(ctx.telemetry.registry)
+
+
+# -- the declared pipeline ----------------------------------------------------
+
+STUDY_PHASES = (
+    Phase("world",
+          compute=_build_configured_world,
+          enabled=lambda ctx: ctx.params.get("world") is None,
+          fallback=lambda ctx: ctx.params["world"],
+          doc="seeded ground truth: providers, domains, attack schedule"),
+    Phase("telescope",
+          compute=_observe_telescope,
+          inputs=("world",),
+          provides="feed",
+          cache_key="telescope",
+          annotations=lambda feed, ctx: {
+              "attacks_inferred": len(feed.attacks)},
+          doc="darknet backscatter -> inferred RSDoS attack feed"),
+    Phase("crawl",
+          compute=_run_crawl,
+          inputs=("world",),
+          provides="crawl_store",
+          cache_key="crawl",
+          parallel=True,
+          annotations=lambda store, ctx: {"rows": store.n_measurements},
+          fresh_annotations=lambda store, ctx: {
+              "workers": ctx.params.get("n_workers", 1)},
+          doc="OpenINTEL-style daily DNS crawl (sharded across workers)"),
+    Phase("corrupt_store",
+          compute=_corrupt_store,
+          inputs=("crawl_store",),
+          provides="store",
+          traced=False,
+          enabled=_chaos_enabled,
+          fallback=lambda ctx, crawl_store: crawl_store,
+          doc="chaos: damage the filled measurement store in place"),
+    Phase("feed_harden",
+          compute=_harden_feed,
+          inputs=("feed",),
+          provides="feed_attacks",
+          enabled=_chaos_enabled,
+          fallback=lambda ctx, feed: feed.attacks,
+          annotations=lambda survivors, ctx: {
+              "survivors": len(survivors),
+              "dead_letters": len(ctx.params["injector"].dead_letters)},
+          doc="chaos: re-validate the faulted feed (retries, dead letters)"),
+    Phase("open_resolvers",
+          compute=_scan_open_resolvers,
+          inputs=("world",),
+          traced=False,
+          doc="open-resolver scan used to filter reflection targets"),
+    Phase("join",
+          compute=_join_feed_and_crawl,
+          inputs=("feed_attacks", "world", "open_resolvers"),
+          cache_key="join",
+          annotations=lambda join, ctx: {
+              "records": len(join.classified),
+              "rejected": len(join.rejected)},
+          doc="§4 join: classify feed attacks against the domain directory"),
+    Phase("metadata",
+          compute=_build_metadata,
+          inputs=("world",),
+          traced=False,
+          doc="NSSet metadata (prefix2AS, AS2Org, anycast census)"),
+    Phase("events",
+          compute=_extract_events,
+          inputs=("join", "store", "metadata"),
+          cache_key="events",
+          annotations=lambda events, ctx: {"events": len(events)},
+          doc="attack events with per-window impact series"),
+    Phase("store_metrics",
+          compute=_publish_store_metrics,
+          inputs=("store",),
+          traced=False,
+          doc="publish repro.store.* totals to the run's registry"),
+)
+
+#: The validated Figure-1 dataflow, in deterministic topological order.
+STUDY_GRAPH = PhaseGraph(STUDY_PHASES, name="study")
+
+
+def study_graph(analyses: bool = True) -> PhaseGraph:
+    """The declared study DAG; with ``analyses`` the nine lazy
+    :class:`Study` analyses are grafted on as consumer nodes (what
+    ``python -m repro graph`` prints)."""
+    if not analyses:
+        return STUDY_GRAPH
+    extra = tuple(analysis_graph(Study).phases)
+    return PhaseGraph(STUDY_PHASES + extra, name="study")
+
+
+class _CompanyRanking(list):
+    """Table 6: the full company ranking; callable to take the top n
+    (the historical ``study.top_companies(n)`` signature)."""
+
+    def __call__(self, n: int = 10) -> List:
+        return list(self[:n])
 
 
 @dataclass
@@ -98,67 +315,92 @@ class Study:
         return (self.join.degraded or self.store.n_rejected > 0
                 or bool(self.degraded_events))
 
-    @cached_property
+    @cached_analysis(deps=("join",))
     def monthly(self) -> MonthlySummary:
         """Table 3 / Table 1."""
-        with self.telemetry.tracer.span("analysis.monthly"):
-            return monthly_summary(self.join)
+        return monthly_summary(self.join)
 
-    @cached_property
+    @cached_analysis(deps=("join",))
     def ports(self) -> PortAnalysis:
         """Figure 6."""
-        with self.telemetry.tracer.span("analysis.ports"):
-            return analyze_ports(self.join)
+        return analyze_ports(self.join)
 
-    @cached_property
+    @cached_analysis(deps=("events",))
     def successful_ports(self) -> PortAnalysis:
         """§6.3.1's successful-attack port mix."""
-        with self.telemetry.tracer.span("analysis.successful_ports"):
-            return analyze_successful_ports(self.events)
+        return analyze_successful_ports(self.events)
 
-    @cached_property
+    @cached_analysis(deps=("events",))
     def failures(self) -> FailureAnalysis:
         """Figure 7 / §6.3.1."""
-        with self.telemetry.tracer.span("analysis.failures"):
-            return analyze_failures(self.events)
+        return analyze_failures(self.events)
 
-    @cached_property
+    @cached_analysis(deps=("events",))
     def impact(self) -> ImpactAnalysis:
         """Figure 8 / §6.3.2."""
-        with self.telemetry.tracer.span("analysis.impact"):
-            return analyze_impact(self.events)
+        return analyze_impact(self.events)
 
-    @cached_property
+    @cached_analysis(deps=("events",))
     def correlation(self) -> CorrelationAnalysis:
         """Figures 9-10."""
-        with self.telemetry.tracer.span("analysis.correlation"):
-            return analyze_correlation(self.events)
+        return analyze_correlation(self.events)
 
-    @cached_property
+    @cached_analysis(deps=("events",))
     def resilience(self) -> ResilienceAnalysis:
         """Figures 11-13."""
-        with self.telemetry.tracer.span("analysis.resilience"):
-            return analyze_resilience(self.events)
+        return analyze_resilience(self.events)
 
-    def top_companies(self, n: int = 10):
-        """Table 6."""
-        return top_companies_by_impact(self.events, n)
+    @cached_analysis(deps=("events",))
+    def top_companies(self) -> "_CompanyRanking":
+        """Table 6 (call with ``n`` for the top slice)."""
+        return _CompanyRanking(
+            top_companies_by_impact(self.events, n=len(self.events)))
 
-    @cached_property
+    @cached_analysis(deps=("world", "feed"))
     def visibility(self):
         """§4.3 quantified: what the telescope missed (oracle view —
         uses the world's ground truth, so it is a simulation-only
         analysis, clearly separated from the dataset-pure ones)."""
         from repro.core.visibility import analyze_visibility
 
-        with self.telemetry.tracer.span("analysis.visibility"):
-            return analyze_visibility(self.world.attacks, self.feed)
+        return analyze_visibility(self.world.attacks, self.feed)
+
+    @classmethod
+    def analysis_graph(cls) -> PhaseGraph:
+        """The validated DAG of the declared ``analysis.*`` nodes."""
+        return analysis_graph(cls)
 
     def report(self) -> str:
         """The full textual study report."""
         from repro.core.report import render_report
 
         return render_report(self)
+
+
+def _open_phase_cache(cache, config: WorldConfig, world: Optional[World],
+                      chaos: Optional["ChaosConfig"],
+                      install_scenarios: bool,
+                      telemetry: RunTelemetry):
+    """Gate and open the artifact cache for one run.
+
+    Chaos runs and pre-built worlds bypass the cache with a
+    :class:`RuntimeWarning`; otherwise returns the opened
+    :class:`~repro.artifacts.cache.PhaseCache` and the run's chained
+    fingerprint keys.
+    """
+    if cache is None:
+        return None, {}
+    if chaos is not None:
+        _warn_bypass(CHAOS_CACHE_REASON, stacklevel=4)
+        return None, {}
+    if world is not None:
+        _warn_bypass(PREBUILT_WORLD_REASON, stacklevel=4)
+        return None, {}
+    from repro.artifacts.cache import PhaseCache
+    from repro.artifacts.fingerprint import study_keys
+
+    return (PhaseCache.open(cache, telemetry=telemetry),
+            study_keys(config, install_scenarios))
 
 
 def run_study(config: Optional[WorldConfig] = None,
@@ -172,6 +414,11 @@ def run_study(config: Optional[WorldConfig] = None,
                                     "PhaseCache"]] = None) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
+
+    The run executes :data:`STUDY_GRAPH` — the declared §4 dataflow —
+    through the :class:`repro.engine.Executor`; spans, cache traffic,
+    and the chaos worker policy are engine middleware, applied
+    identically to every phase.
 
     ``n_workers > 1`` runs the crawl — the dominant cost of every
     figure and table — sharded across processes forked from the
@@ -214,131 +461,36 @@ def run_study(config: Optional[WorldConfig] = None,
     (its build flags cannot be fingerprinted); both warn.
     """
     telemetry = telemetry or NULL_TELEMETRY
-    tracer = telemetry.tracer
+    config = world.config if world is not None else (config or WorldConfig())
+    phase_cache, keys = _open_phase_cache(cache, config, world, chaos,
+                                          install_scenarios, telemetry)
+    injector: Optional["FaultInjector"] = None
+    if chaos is not None:
+        from repro.chaos.injector import FaultInjector
 
-    phase_cache: Optional["PhaseCache"] = None
-    keys = {}
-    if cache is not None:
-        if chaos is not None:
-            import warnings
+        injector = FaultInjector(chaos, telemetry=telemetry)
 
-            warnings.warn(
-                "chaos runs bypass the artifact cache: injected faults "
-                "must never be cached nor replayed from it",
-                RuntimeWarning, stacklevel=2)
-        elif world is not None:
-            import warnings
-
-            warnings.warn(
-                "a pre-built world cannot be fingerprinted (its build "
-                "flags are unknown); pass a config instead of a world "
-                "to use the artifact cache",
-                RuntimeWarning, stacklevel=2)
-        else:
-            from repro.artifacts.cache import PhaseCache
-            from repro.artifacts.fingerprint import study_keys
-
-            phase_cache = PhaseCache.open(cache, telemetry=telemetry)
-            keys = study_keys(config or WorldConfig(), install_scenarios)
-    with tracer.span("study") as study_span:
-        if world is None:
-            config = config or WorldConfig()
-            with tracer.span("world"):
-                world = build_world(config,
-                                    install_scenarios=install_scenarios)
-        else:
-            config = world.config
-        study_span.annotate(seed=config.seed, n_domains=config.n_domains)
-
-        injector: Optional["FaultInjector"] = None
-        if chaos is not None:
-            from repro.chaos.injector import FaultInjector
-
-            injector = FaultInjector(chaos, telemetry=telemetry)
-
-        with tracer.span("telescope") as span:
-            feed = (phase_cache.fetch("telescope", keys["telescope"])
-                    if phase_cache is not None else None)
-            if feed is None:
-                darknet = Darknet()
-                simulator = BackscatterSimulator(
-                    darknet, world.rngs.stream("telescope"),
-                    link_util_fn=_link_util_fn(world),
-                    headroom=config.headroom)
-                feed = RSDoSFeed.observe(world.attacks, simulator)
-                if phase_cache is not None:
-                    phase_cache.save("telescope", keys["telescope"], feed)
-            else:
-                span.annotate(cached=True)
-            span.annotate(attacks_inferred=len(feed.attacks))
-
-        store = (phase_cache.fetch("crawl", keys["crawl"])
-                 if phase_cache is not None else None)
-        if store is None:
-            transport = (injector.wrap_transport(world.transport)
-                         if injector is not None else None)
-            platform = OpenIntelPlatform(world, transport=transport,
-                                         telemetry=telemetry)
-            if injector is not None:
-                injector.wrap_store_ingest(platform.store)
-                if n_workers != 1:
-                    import warnings
-
-                    warnings.warn(
-                        "chaos runs force a serial crawl: the fault injector "
-                        "is stateful (burst state, fault log, RNG streams), "
-                        "so its schedule cannot be sharded across forked "
-                        "workers",
-                        RuntimeWarning, stacklevel=2)
-                    n_workers = 1
-            with tracer.span("crawl") as span:
-                store = platform.run_parallel(n_workers, progress=progress)
-                span.annotate(workers=n_workers, rows=store.n_measurements)
-                if platform.stats is not None:
-                    platform.stats.publish(telemetry.registry)
-            if phase_cache is not None:
-                phase_cache.save("crawl", keys["crawl"], store)
-        else:
-            with tracer.span("crawl") as span:
-                span.annotate(cached=True, rows=store.n_measurements)
-        if injector is not None:
-            injector.corrupt_store(store)
-
-        feed_attacks = feed.attacks
-        if injector is not None:
-            with tracer.span("feed_harden") as span:
-                feed_attacks = injector.harden_feed(feed_attacks)
-                span.annotate(survivors=len(feed_attacks),
-                              dead_letters=len(injector.dead_letters))
-
-        with tracer.span("join") as span:
-            open_resolvers = OpenResolverScan.from_world(world)
-            join = (phase_cache.fetch("join", keys["join"])
-                    if phase_cache is not None else None)
-            if join is None:
-                join = join_datasets(feed_attacks, world.directory,
-                                     open_resolvers)
-                if phase_cache is not None:
-                    phase_cache.save("join", keys["join"], join)
-            else:
-                span.annotate(cached=True)
-            span.annotate(records=len(join.classified),
-                          rejected=len(join.rejected))
-        with tracer.span("events") as span:
-            metadata = NSSetMetadata(world.directory, world.prefix2as,
-                                     world.as2org, world.census)
-            events = (phase_cache.fetch("events", keys["events"])
-                      if phase_cache is not None else None)
-            if events is None:
-                events = extract_events(join, store, metadata,
-                                        min_domains=config.event_min_domains)
-                if phase_cache is not None:
-                    phase_cache.save("events", keys["events"], events)
-            else:
-                span.annotate(cached=True)
-            span.annotate(events=len(events))
-        store.publish_metrics(telemetry.registry)
-    return Study(config=config, world=world, feed=feed, store=store,
-                 open_resolvers=open_resolvers, join=join,
-                 metadata=metadata, events=events, chaos=injector,
+    ctx = RunContext(telemetry=telemetry, params={
+        "config": config,
+        "world": world,
+        "injector": injector,
+        "install_scenarios": install_scenarios,
+        "n_workers": n_workers,
+        "progress": progress,
+    })
+    executor = Executor(STUDY_GRAPH, middleware=(
+        SpanMiddleware(),
+        CacheMiddleware(phase_cache, keys),
+        WorkerPolicy(
+            serial=injector is not None and injector.forces_serial_crawl,
+            warn=lambda: _warn_bypass(SERIAL_CRAWL_REASON, stacklevel=7)),
+    ))
+    values = executor.run(ctx, root_span="study",
+                          root_meta={"seed": config.seed,
+                                     "n_domains": config.n_domains})
+    return Study(config=config, world=values["world"], feed=values["feed"],
+                 store=values["store"],
+                 open_resolvers=values["open_resolvers"],
+                 join=values["join"], metadata=values["metadata"],
+                 events=values["events"], chaos=injector,
                  telemetry=telemetry)

@@ -1,0 +1,231 @@
+"""The engine's executor: one middleware chain, applied to every node.
+
+The :class:`Executor` walks a :class:`~repro.engine.graph.PhaseGraph`
+in its deterministic order and pushes each enabled phase through a
+middleware onion::
+
+    SpanMiddleware( CacheMiddleware( WorkerPolicy( compute ) ) )
+
+so cross-cutting concerns — the telemetry span with its annotations,
+cache fetch/save, the worker-count policy — are written once here
+instead of being re-interleaved inline at every phase the way the
+pipeline used to. A disabled phase (``Phase.enabled`` false) skips the
+chain entirely and fills its slot via ``Phase.fallback``, untraced and
+uncached.
+
+Middleware contract: ``run(phase, ctx, call_next) -> value`` where
+``call_next(phase, ctx)`` invokes the rest of the chain. Innermost,
+the executor resolves the phase's declared inputs from the context's
+slot values and calls ``phase.compute(ctx, **inputs)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.engine.graph import PhaseGraph
+from repro.engine.phase import Phase
+
+__all__ = ["RunContext", "Middleware", "SpanMiddleware", "CacheMiddleware",
+           "WorkerPolicy", "Executor"]
+
+
+class _NoSpan:
+    """Annotation sink for untraced phases (and tracerless contexts)."""
+
+    __slots__ = ()
+
+    def annotate(self, **meta) -> None:
+        pass
+
+
+_NO_SPAN = _NoSpan()
+
+
+class RunContext:
+    """Everything one graph run threads through its phases.
+
+    - ``values``: output slot -> produced value (sources pre-seeded);
+    - ``params``: run knobs the computes and middleware read (config,
+      worker count, the fault injector, progress callbacks, ...);
+    - ``telemetry`` / ``tracer``: the run's :mod:`repro.obs` bundle;
+    - ``span``: the innermost phase span while one is open (a no-op
+      sink otherwise), so computes can annotate without branching;
+    - ``root``: the run's root span when the executor opened one.
+    """
+
+    def __init__(self, telemetry=None, params: Optional[Mapping] = None):
+        from repro.obs import NULL_TELEMETRY
+
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.tracer = self.telemetry.tracer
+        self.params: Dict[str, object] = dict(params or {})
+        self.values: Dict[str, object] = {}
+        self.span = _NO_SPAN
+        self.root = _NO_SPAN
+        #: names of phases satisfied from the cache this run.
+        self.cached_phases: set = set()
+
+    def __getitem__(self, slot: str):
+        return self.values[slot]
+
+    def __contains__(self, slot: str) -> bool:
+        return slot in self.values
+
+
+class Middleware:
+    """Base middleware: pass-through."""
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        return call_next(phase, ctx)
+
+
+class SpanMiddleware(Middleware):
+    """Opens the phase's span and applies its result annotations.
+
+    Untraced phases pass straight through. The span is exposed as
+    ``ctx.span`` for the inner chain (the cache middleware stamps
+    ``cached=True`` on it; computes may annotate freely).
+    """
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        if not phase.traced:
+            return call_next(phase, ctx)
+        with ctx.tracer.span(phase.name) as span:
+            previous, ctx.span = ctx.span, span
+            try:
+                result = call_next(phase, ctx)
+                span.annotate(**phase.annotations(result, ctx))
+            finally:
+                ctx.span = previous
+        return result
+
+
+class CacheMiddleware(Middleware):
+    """Fetch/save cacheable phases against a
+    :class:`~repro.artifacts.cache.PhaseCache`.
+
+    A hit skips the inner chain (the compute never runs) and stamps the
+    phase span ``cached=True``; a miss computes and saves best-effort.
+    Phases without a ``cache_key``, and runs without a cache, pass
+    through untouched.
+    """
+
+    def __init__(self, cache=None, keys: Optional[Mapping[str, str]] = None):
+        self.cache = cache
+        self.keys = dict(keys or {})
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        key = (self.keys.get(phase.cache_key)
+               if self.cache is not None and phase.cache_key else None)
+        if key is None:
+            return call_next(phase, ctx)
+        dumps = loads = None
+        if phase.serializer is not None:
+            dumps, loads = phase.serializer
+        hit = self.cache.fetch(phase.cache_key, key, loads=loads)
+        if hit is not None:
+            ctx.span.annotate(cached=True)
+            ctx.cached_phases.add(phase.name)
+            return hit
+        result = call_next(phase, ctx)
+        self.cache.save(phase.cache_key, key, result, dumps=dumps)
+        return result
+
+
+class WorkerPolicy(Middleware):
+    """The worker-count policy, applied to ``parallel`` phases.
+
+    When ``serial`` is set (a chaos run: the fault injector's burst
+    state, fault log, and RNG streams live in one process), a parallel
+    phase asked for more than one worker is forced serial and ``warn``
+    is called once with no arguments.
+    """
+
+    def __init__(self, serial: bool = False,
+                 warn: Optional[Callable[[], None]] = None):
+        self.serial = serial
+        self.warn = warn
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        if (phase.parallel and self.serial
+                and ctx.params.get("n_workers", 1) != 1):
+            if self.warn is not None:
+                self.warn()
+            ctx.params["n_workers"] = 1
+        return call_next(phase, ctx)
+
+
+class Executor:
+    """Runs a :class:`PhaseGraph` through one middleware chain."""
+
+    def __init__(self, graph: PhaseGraph,
+                 middleware: Sequence[Middleware] = ()):
+        self.graph = graph
+        self.middleware = tuple(middleware)
+
+    # -- the chain ------------------------------------------------------------
+
+    def _compute(self, phase: Phase, ctx: RunContext):
+        """Innermost link: resolve inputs, compute, fresh-annotate."""
+        inputs = {slot: ctx.values[slot] for slot in phase.inputs}
+        result = phase.compute(ctx, **inputs)
+        ctx.span.annotate(**phase.fresh_annotations(result, ctx))
+        return result
+
+    def _chain(self) -> Callable[[Phase, RunContext], object]:
+        call = self._compute
+        for mw in reversed(self.middleware):
+            def call(phase, ctx, _mw=mw, _next=call):
+                return _mw.run(phase, ctx, _next)
+        return call
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, ctx: RunContext,
+            targets: Optional[Sequence[str]] = None,
+            sources: Optional[Mapping[str, object]] = None,
+            root_span: Optional[str] = None,
+            root_meta: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+        """Execute the graph (or the ancestors of ``targets`` only).
+
+        ``sources`` seeds declared source slots with values. With
+        ``root_span`` set, the whole run nests under one span of that
+        name (annotated with ``root_meta``), exposed as ``ctx.root``
+        for run-level annotations. Returns ``ctx.values`` — every slot
+        produced, keyed by name.
+        """
+        for slot, value in (sources or {}).items():
+            if slot not in self.graph.sources:
+                raise KeyError(
+                    f"{slot!r} is not a declared source of graph "
+                    f"{self.graph.name!r}")
+            ctx.values[slot] = value
+        order = (self.graph.order if targets is None
+                 else self.graph.subset(targets))
+        chain = self._chain()
+        if root_span is not None:
+            with ctx.tracer.span(root_span, **(root_meta or {})) as root:
+                ctx.root = root
+                try:
+                    self._run_order(order, ctx, chain)
+                finally:
+                    ctx.root = _NO_SPAN
+        else:
+            self._run_order(order, ctx, chain)
+        return ctx.values
+
+    def _run_order(self, order: Iterable[Phase], ctx: RunContext,
+                   chain: Callable) -> None:
+        for phase in order:
+            missing = [s for s in phase.inputs if s not in ctx.values]
+            if missing:
+                raise KeyError(
+                    f"phase {phase.name!r} is missing input value(s) "
+                    f"{missing}; seed them via run(sources=...)")
+            if phase.is_enabled(ctx):
+                value = chain(phase, ctx)
+            else:
+                inputs = {slot: ctx.values[slot] for slot in phase.inputs}
+                value = phase.substitute(ctx, **inputs)
+            ctx.values[phase.provides] = value

@@ -13,6 +13,11 @@ shows under ``--trace``; :meth:`Tracer.snapshot` is the JSON form.
 
 The default tracer in the pipeline is :data:`NULL_TRACER`, whose spans
 are a shared no-op — instrumented code never branches on enablement.
+
+Pipeline phase spans (``study``'s children, ``analysis.*`` roots) are
+opened by :class:`repro.engine.SpanMiddleware` rather than inline
+``tracer.span(...)`` calls — one code path annotates every node of the
+study graph.
 """
 
 from __future__ import annotations

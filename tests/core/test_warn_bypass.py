@@ -1,0 +1,75 @@
+"""The deduplicated bypass-warning helper.
+
+The pipeline's former inline ``import warnings`` + ``warnings.warn``
+blocks are one module-level helper now; the warning *category* and the
+exact pre-refactor *messages* must be unchanged (tools filter on them).
+"""
+
+import warnings
+
+import pytest
+
+from repro import ChaosConfig, WorldConfig, build_world, run_study
+from repro.core.pipeline import (
+    CHAOS_CACHE_REASON,
+    PREBUILT_WORLD_REASON,
+    SERIAL_CRAWL_REASON,
+    _warn_bypass,
+)
+
+# The messages exactly as the pre-refactor pipeline emitted them.
+EXPECTED = {
+    "chaos-cache": "chaos runs bypass the artifact cache: injected faults "
+                   "must never be cached nor replayed from it",
+    "prebuilt-world": "a pre-built world cannot be fingerprinted (its build "
+                      "flags are unknown); pass a config instead of a world "
+                      "to use the artifact cache",
+    "serial-crawl": "chaos runs force a serial crawl: the fault injector "
+                    "is stateful (burst state, fault log, RNG streams), "
+                    "so its schedule cannot be sharded across forked "
+                    "workers",
+}
+
+
+class TestHelper:
+    def test_category_is_runtime_warning(self):
+        with pytest.warns(RuntimeWarning, match="^exactly this$"):
+            _warn_bypass("exactly this")
+
+    def test_messages_unchanged(self):
+        assert CHAOS_CACHE_REASON == EXPECTED["chaos-cache"]
+        assert PREBUILT_WORLD_REASON == EXPECTED["prebuilt-world"]
+        assert SERIAL_CRAWL_REASON == EXPECTED["serial-crawl"]
+
+
+class TestPipelineEmission:
+    """Each bypass path emits its exact message, as RuntimeWarning."""
+
+    def _messages(self, recorded):
+        return [(w.category, str(w.message)) for w in recorded]
+
+    def test_chaos_run_with_cache(self, tmp_path):
+        with pytest.warns(RuntimeWarning) as recorded:
+            run_study(WorldConfig.tiny(), cache=str(tmp_path / "c"),
+                      chaos=ChaosConfig(seed=1))
+        assert (RuntimeWarning, EXPECTED["chaos-cache"]) in \
+            self._messages(recorded)
+
+    def test_prebuilt_world_with_cache(self, tmp_path):
+        world = build_world(WorldConfig.tiny(seed=11))
+        with pytest.warns(RuntimeWarning) as recorded:
+            run_study(world=world, cache=str(tmp_path / "c"))
+        assert (RuntimeWarning, EXPECTED["prebuilt-world"]) in \
+            self._messages(recorded)
+
+    def test_chaos_run_with_workers(self):
+        with pytest.warns(RuntimeWarning) as recorded:
+            run_study(WorldConfig.tiny(), chaos=ChaosConfig(seed=1),
+                      n_workers=2)
+        assert (RuntimeWarning, EXPECTED["serial-crawl"]) in \
+            self._messages(recorded)
+
+    def test_clean_run_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_study(WorldConfig.tiny())

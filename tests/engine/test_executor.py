@@ -1,0 +1,224 @@
+"""Executor + middleware semantics, on synthetic graphs.
+
+The span middleware traces every traced node (and only those), the
+cache middleware skips computes on hits and saves on misses, the
+worker policy forces parallel phases serial with a warning, and
+disabled phases fall back untraced and uncached.
+"""
+
+import pytest
+
+from repro.artifacts.store import ArtifactStore
+from repro.artifacts.cache import PhaseCache
+from repro.engine import (
+    CacheMiddleware,
+    Executor,
+    Phase,
+    PhaseGraph,
+    RunContext,
+    SpanMiddleware,
+    WorkerPolicy,
+    cached_analysis,
+)
+from repro.obs import RunTelemetry
+
+
+def _graph():
+    return PhaseGraph([
+        Phase("double", compute=lambda ctx, seed: seed * 2,
+              inputs=("seed",)),
+        Phase("plus", compute=lambda ctx, double: double + 1,
+              inputs=("double",),
+              annotations=lambda result, ctx: {"value": result}),
+        Phase("quiet", compute=lambda ctx, plus: plus, inputs=("plus",),
+              traced=False),
+    ], sources=("seed",))
+
+
+class TestExecution:
+    def test_values_flow_through_slots(self):
+        values = Executor(_graph()).run(RunContext(), sources={"seed": 5})
+        assert values["double"] == 10
+        assert values["plus"] == 11
+        assert values["quiet"] == 11
+
+    def test_targets_run_only_ancestors(self):
+        ran = []
+        graph = PhaseGraph([
+            Phase("a", compute=lambda ctx: ran.append("a")),
+            Phase("b", compute=lambda ctx, a: ran.append("b"),
+                  inputs=("a",)),
+            Phase("c", compute=lambda ctx: ran.append("c")),
+        ])
+        Executor(graph).run(RunContext(), targets=["b"])
+        assert ran == ["a", "b"]
+
+    def test_missing_source_value_raises(self):
+        with pytest.raises(KeyError, match="missing input value"):
+            Executor(_graph()).run(RunContext())
+
+    def test_undeclared_source_rejected(self):
+        with pytest.raises(KeyError, match="not a declared source"):
+            Executor(_graph()).run(RunContext(), sources={"ghost": 1})
+
+    def test_disabled_phase_uses_fallback(self):
+        graph = PhaseGraph([
+            Phase("maybe", compute=lambda ctx: "computed",
+                  enabled=lambda ctx: ctx.params.get("on", False),
+                  fallback=lambda ctx: "fallback"),
+        ])
+        assert Executor(graph).run(RunContext())["maybe"] == "fallback"
+        assert Executor(graph).run(
+            RunContext(params={"on": True}))["maybe"] == "computed"
+
+
+class TestSpanMiddleware:
+    def _run(self, telemetry):
+        ctx = RunContext(telemetry=telemetry)
+        Executor(_graph(), middleware=(SpanMiddleware(),)).run(
+            ctx, sources={"seed": 3}, root_span="root",
+            root_meta={"k": "v"})
+
+    def test_span_tree_mirrors_traced_phases(self):
+        telemetry = RunTelemetry.create()
+        self._run(telemetry)
+        roots = telemetry.tracer.roots
+        assert [r.name for r in roots] == ["root"]
+        assert roots[0].meta == {"k": "v"}
+        assert [c.name for c in roots[0].children] == ["double", "plus"]
+
+    def test_annotations_applied_from_results(self):
+        telemetry = RunTelemetry.create()
+        self._run(telemetry)
+        plus = telemetry.tracer.roots[0].children[1]
+        assert plus.meta == {"value": 7}
+
+    def test_disabled_phase_is_untraced(self):
+        telemetry = RunTelemetry.create()
+        graph = PhaseGraph([
+            Phase("maybe", compute=lambda ctx: 1,
+                  enabled=lambda ctx: False, fallback=lambda ctx: 2),
+        ])
+        ctx = RunContext(telemetry=telemetry)
+        Executor(graph, middleware=(SpanMiddleware(),)).run(ctx)
+        assert telemetry.tracer.roots == []
+
+
+class TestCacheMiddleware:
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        return PhaseCache(ArtifactStore(str(tmp_path)))
+
+    def _graph(self, ran):
+        import json
+
+        serializer = (lambda v: json.dumps(v).encode(),
+                      lambda b: json.loads(b.decode()))
+        return PhaseGraph([
+            Phase("work", compute=lambda ctx: ran.append("work") or [1, 2],
+                  cache_key="work", serializer=serializer),
+        ])
+
+    def test_miss_computes_and_saves_then_hit_skips(self, cache):
+        ran = []
+        graph = self._graph(ran)
+        keys = {"work": "ab" * 32}
+        mw = (SpanMiddleware(), CacheMiddleware(cache, keys))
+        ctx1 = RunContext(telemetry=RunTelemetry.create())
+        v1 = Executor(graph, middleware=mw).run(ctx1)["work"]
+        ctx2 = RunContext(telemetry=RunTelemetry.create())
+        v2 = Executor(graph, middleware=mw).run(ctx2)["work"]
+        assert ran == ["work"]  # second run never computed
+        assert v1 == v2 == [1, 2]
+        assert ctx1.cached_phases == set()
+        assert ctx2.cached_phases == {"work"}
+
+    def test_hit_annotates_the_span_cached(self, cache):
+        graph = self._graph([])
+        keys = {"work": "cd" * 32}
+        mw = (SpanMiddleware(), CacheMiddleware(cache, keys))
+        Executor(graph, middleware=mw).run(RunContext())
+        telemetry = RunTelemetry.create()
+        Executor(graph, middleware=mw).run(RunContext(telemetry=telemetry))
+        span = telemetry.tracer.roots[0]
+        assert span.meta.get("cached") is True
+
+    def test_uncacheable_phase_passes_through(self, cache):
+        ran = []
+        graph = PhaseGraph([
+            Phase("plain", compute=lambda ctx: ran.append(1) or "x"),
+        ])
+        mw = (CacheMiddleware(cache, {"plain": "ee" * 32}),)
+        Executor(graph, middleware=mw).run(RunContext())
+        Executor(graph, middleware=mw).run(RunContext())
+        assert len(ran) == 2  # no cache_key declared -> never cached
+
+    def test_no_cache_is_a_noop(self):
+        ran = []
+        graph = self._graph(ran)
+        mw = (CacheMiddleware(None, {"work": "ff" * 32}),)
+        Executor(graph, middleware=mw).run(RunContext())
+        Executor(graph, middleware=mw).run(RunContext())
+        assert len(ran) == 2
+
+
+class TestWorkerPolicy:
+    def _graph(self, seen):
+        return PhaseGraph([
+            Phase("shard",
+                  compute=lambda ctx: seen.append(ctx.params["n_workers"]),
+                  parallel=True),
+            Phase("serialish", compute=lambda ctx: None),
+        ])
+
+    def test_serial_policy_forces_one_worker_and_warns(self):
+        seen, warned = [], []
+        mw = (WorkerPolicy(serial=True, warn=lambda: warned.append(1)),)
+        ctx = RunContext(params={"n_workers": 4})
+        Executor(self._graph(seen), middleware=mw).run(ctx)
+        assert seen == [1]
+        assert warned == [1]
+
+    def test_serial_policy_is_quiet_at_one_worker(self):
+        seen, warned = [], []
+        mw = (WorkerPolicy(serial=True, warn=lambda: warned.append(1)),)
+        Executor(self._graph(seen), middleware=mw).run(
+            RunContext(params={"n_workers": 1}))
+        assert seen == [1] and warned == []
+
+    def test_parallel_allowed_when_not_serial(self):
+        seen = []
+        mw = (WorkerPolicy(serial=False, warn=None),)
+        Executor(self._graph(seen), middleware=mw).run(
+            RunContext(params={"n_workers": 4}))
+        assert seen == [4]
+
+
+class TestCachedAnalysis:
+    class Thing:
+        def __init__(self, telemetry):
+            self.telemetry = telemetry
+            self.base = 10
+            self.calls = 0
+
+        @cached_analysis(deps=("base",))
+        def doubled(self):
+            """Twice the base."""
+            self.calls += 1
+            return self.base * 2
+
+    def test_memoizes_and_spans_once(self):
+        telemetry = RunTelemetry.create()
+        thing = self.Thing(telemetry)
+        assert thing.doubled == 20
+        assert thing.doubled == 20
+        assert thing.calls == 1
+        roots = [r.name for r in telemetry.tracer.roots]
+        assert roots.count("analysis.doubled") == 1
+
+    def test_declares_an_engine_node(self):
+        desc = self.Thing.__dict__["doubled"]
+        phase = desc.phase()
+        assert phase.name == "analysis.doubled"
+        assert phase.inputs == ("base",)
+        assert phase.doc == "Twice the base."

@@ -1,0 +1,159 @@
+"""Graph validation: the ISSUE's structural-safety contract.
+
+Every malformed declaration fails at graph-*build* time — cycles are
+named, unknown inputs are rejected before anything runs — and the
+topological order is deterministic across runs and processes.
+"""
+
+import pytest
+
+from repro.engine import (
+    CycleError,
+    DuplicateNodeError,
+    Phase,
+    PhaseGraph,
+    UnknownInputError,
+)
+
+
+def _phase(name, inputs=(), provides=None, **kw):
+    return Phase(name, compute=lambda ctx, **inputs: name,
+                 inputs=inputs, provides=provides, **kw)
+
+
+class TestPhaseDeclaration:
+    def test_rejects_missing_compute(self):
+        with pytest.raises(ValueError, match="declares no compute"):
+            Phase("nameless")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            Phase("", compute=lambda ctx: None)
+
+    def test_provides_defaults_to_name(self):
+        assert _phase("a").provides == "a"
+        assert _phase("a", provides="out").provides == "out"
+
+
+class TestValidation:
+    def test_unknown_input_raises_at_build_time(self):
+        with pytest.raises(UnknownInputError,
+                           match=r"phase 'b' consumes 'ghost'"):
+            PhaseGraph([_phase("a"), _phase("b", inputs=("ghost",))])
+
+    def test_sources_satisfy_inputs(self):
+        graph = PhaseGraph([_phase("b", inputs=("seed",))],
+                           sources=("seed",))
+        assert [p.name for p in graph.order] == ["b"]
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(DuplicateNodeError, match="duplicate phase name"):
+            PhaseGraph([_phase("a"), _phase("a")])
+
+    def test_duplicate_slot_raises(self):
+        with pytest.raises(DuplicateNodeError,
+                           match=r"slot 'out' is provided by both"):
+            PhaseGraph([_phase("a", provides="out"),
+                        _phase("b", provides="out")])
+
+    def test_phase_shadowing_a_source_raises(self):
+        with pytest.raises(DuplicateNodeError, match="shadows"):
+            PhaseGraph([_phase("a", provides="seed")], sources=("seed",))
+
+    def test_cycle_raises_with_the_cycle_named(self):
+        with pytest.raises(CycleError) as err:
+            PhaseGraph([
+                _phase("a", inputs=("c",)),
+                _phase("b", inputs=("a",)),
+                _phase("c", inputs=("b",)),
+            ])
+        # The cycle's members, in dependency order, are all named.
+        assert set(err.value.cycle) == {"a", "b", "c"}
+        assert "->" in str(err.value)
+
+    def test_self_cycle_raises(self):
+        with pytest.raises(CycleError) as err:
+            PhaseGraph([_phase("a", inputs=("a",))])
+        assert err.value.cycle == ("a",)
+
+    def test_cycle_below_valid_prefix_is_still_found(self):
+        with pytest.raises(CycleError) as err:
+            PhaseGraph([
+                _phase("ok"),
+                _phase("x", inputs=("ok", "y")),
+                _phase("y", inputs=("x",)),
+            ])
+        assert set(err.value.cycle) == {"x", "y"}
+
+
+class TestDeterministicOrder:
+    PHASES = [
+        ("sink", ("left", "right")),
+        ("left", ("root",)),
+        ("right", ("root",)),
+        ("root", ()),
+    ]
+
+    def _build(self):
+        return PhaseGraph([_phase(n, inputs=i) for n, i in self.PHASES])
+
+    def test_order_is_topological(self):
+        order = [p.name for p in self._build().order]
+        assert order.index("root") < order.index("left")
+        assert order.index("root") < order.index("right")
+        assert order.index("left") < order.index("sink")
+        assert order.index("right") < order.index("sink")
+
+    def test_order_is_identical_across_builds(self):
+        orders = {tuple(p.name for p in self._build().order)
+                  for _ in range(20)}
+        assert len(orders) == 1
+
+    def test_declaration_order_breaks_ties(self):
+        # left and right are both ready after root; left is declared
+        # first among the ready set, so it always runs first.
+        order = [p.name for p in self._build().order]
+        assert order == ["root", "left", "right", "sink"]
+
+
+class TestQueries:
+    def _diamond(self):
+        return PhaseGraph([
+            _phase("root"),
+            _phase("left", inputs=("root",)),
+            _phase("right", inputs=("root",)),
+            _phase("sink", inputs=("left", "right")),
+        ])
+
+    def test_subset_runs_only_ancestors(self):
+        graph = self._diamond()
+        assert [p.name for p in graph.subset(["left"])] == ["root", "left"]
+        assert [p.name for p in graph.subset(["sink"])] == \
+            ["root", "left", "right", "sink"]
+
+    def test_subset_unknown_target_raises(self):
+        with pytest.raises(KeyError, match="ghost"):
+            self._diamond().subset(["ghost"])
+
+    def test_edges_match_declared_inputs(self):
+        graph = self._diamond()
+        assert set(graph.edges()) == {
+            ("root", "left", "root"),
+            ("root", "right", "root"),
+            ("left", "sink", "left"),
+            ("right", "sink", "right"),
+        }
+
+    def test_render_text_lists_every_phase_once(self):
+        text = self._diamond().render_text()
+        for name in ("root", "left", "right", "sink"):
+            assert sum(1 for line in text.splitlines()
+                       if line.strip().startswith(f"{name} ")) == 1
+
+    def test_to_dot_has_every_node_and_edge(self):
+        dot = self._diamond().to_dot()
+        assert dot.startswith("digraph")
+        for name in ("root", "left", "right", "sink"):
+            assert f'"{name}" [shape=' in dot
+        assert '"root" -> "left"' in dot
+        assert '"left" -> "sink"' in dot

@@ -1,0 +1,98 @@
+"""Engine-path equivalence: the refactor's acceptance bar.
+
+``run_study`` now executes the declared :data:`repro.core.pipeline
+.STUDY_GRAPH` through the engine executor. Its output must be
+bit-identical to the pre-refactor goldens (captured from the
+hand-wired pipeline at the same configs, committed under
+``tests/integration/golden/``) for: a clean run, a warm-cache run,
+1/2/4 workers, and seeded chaos runs (the e2e suite's three chaos
+seeds). And no per-phase cache/span/chaos boilerplate may remain in
+``run_study`` itself — that is the engine's job now.
+"""
+
+import inspect
+import os
+
+import pytest
+
+from repro import ChaosConfig, WorldConfig, run_study
+from repro.core import pipeline
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+CHAOS_SEEDS = [1, 2, 3]  # the e2e chaos fixture seeds
+
+
+def golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name)) as fp:
+        return fp.read()
+
+
+@pytest.fixture(scope="module")
+def clean_report() -> str:
+    return golden("report_tiny_clean.txt")
+
+
+class TestCleanEquivalence:
+    def test_clean_run_matches_pre_refactor_golden(self, clean_report):
+        assert run_study(WorldConfig.tiny()).report() == clean_report
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_worker_counts_match_golden(self, clean_report, n_workers):
+        study = run_study(WorldConfig.tiny(), n_workers=n_workers)
+        assert study.report() == clean_report
+
+
+class TestWarmCacheEquivalence:
+    def test_cold_then_warm_both_match_golden(self, tmp_path, clean_report):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_study(WorldConfig.tiny(), cache=cache_dir)
+        assert cold.report() == clean_report
+        warm = run_study(WorldConfig.tiny(), cache=cache_dir)
+        assert warm.report() == clean_report
+        assert warm.store == cold.store
+        assert warm.events == cold.events
+
+    def test_warm_run_at_two_workers_matches_golden(self, tmp_path,
+                                                    clean_report):
+        cache_dir = str(tmp_path / "cache")
+        run_study(WorldConfig.tiny(), cache=cache_dir)
+        warm = run_study(WorldConfig.tiny(), cache=cache_dir, n_workers=2)
+        assert warm.report() == clean_report
+
+
+class TestChaosEquivalence:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seeded_chaos_runs_match_golden(self, seed):
+        study = run_study(WorldConfig.tiny(),
+                          chaos=ChaosConfig.preset("moderate", seed=seed))
+        assert study.chaos is not None and study.chaos.events
+        assert study.report() == golden(f"report_tiny_chaos_seed{seed}.txt")
+
+
+class TestNoBoilerplateInRunStudy:
+    """The facade declares; the engine executes."""
+
+    SOURCE = inspect.getsource(pipeline.run_study)
+
+    @pytest.mark.parametrize("needle", [
+        ".span(",            # no inline span management
+        "fetch(", "save(",   # no inline cache traffic
+        "warnings.warn",     # no inline warning blocks
+        "import warnings",
+        "annotate(",         # no inline span annotations
+        "corrupt_store", "harden_feed", "wrap_transport",  # chaos wiring
+    ])
+    def test_run_study_has_no_per_phase_plumbing(self, needle):
+        assert needle not in self.SOURCE
+
+    def test_run_study_is_a_thin_facade(self):
+        # One executor run, no hand-wired phase sequence.
+        assert "executor.run" in self.SOURCE
+        assert "STUDY_GRAPH" in self.SOURCE
+
+    def test_every_wired_phase_is_declared_once(self):
+        names = [p.name for p in pipeline.STUDY_GRAPH.phases]
+        assert sorted(names) == sorted(set(names))
+        for name in ("world", "telescope", "crawl", "feed_harden",
+                     "join", "events"):
+            assert name in names

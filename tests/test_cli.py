@@ -160,3 +160,49 @@ class TestCacheFlags:
     def test_cache_gc_requires_max_bytes(self, tmp_path, capsys):
         assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
         assert "--max-bytes" in capsys.readouterr().err
+
+
+class TestGraphCommand:
+    """``repro graph`` prints the declared DAG: every phase exactly
+    once, edges matching the declared inputs."""
+
+    def test_text_lists_every_phase_exactly_once(self, capsys):
+        from repro.core.pipeline import study_graph
+
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        graph = study_graph()
+        for phase in graph.phases:
+            heads = [line for line in out.splitlines()
+                     if line.strip().startswith(f"{phase.name} ")]
+            assert len(heads) == 1, phase.name
+
+    def test_text_edges_match_declared_inputs(self, capsys):
+        from repro.core.pipeline import study_graph
+
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        for phase in study_graph().phases:
+            line = next(l for l in out.splitlines()
+                        if l.strip().startswith(f"{phase.name} "))
+            deps = line.split("<-", 1)[1].split("[")[0].strip()
+            expected = ", ".join(phase.inputs) if phase.inputs else "-"
+            assert deps == expected, phase.name
+
+    def test_dot_output_has_every_node_and_edge(self, capsys):
+        from repro.core.pipeline import study_graph
+
+        assert main(["graph", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        graph = study_graph()
+        for phase in graph.phases:
+            assert out.count(f'"{phase.name}" [shape=') == 1
+        for producer, consumer, _slot in graph.edges():
+            assert f'"{producer}" -> "{consumer}"' in out
+
+    def test_no_analyses_flag_prints_pipeline_only(self, capsys):
+        assert main(["graph", "--no-analyses"]) == 0
+        out = capsys.readouterr().out
+        assert "telescope" in out
+        assert "analysis." not in out

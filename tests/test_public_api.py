@@ -10,7 +10,7 @@ PACKAGES = [
     "repro", "repro.util", "repro.net", "repro.dns", "repro.topology",
     "repro.anycast", "repro.world", "repro.attacks", "repro.telescope",
     "repro.openintel", "repro.streaming", "repro.chaos", "repro.obs",
-    "repro.artifacts", "repro.datasets", "repro.core",
+    "repro.artifacts", "repro.engine", "repro.datasets", "repro.core",
 ]
 
 
