@@ -57,3 +57,73 @@ def test_reactive_platform(benchmark, transip_study, emit):
     record = transip_study.world.directory[domain_id]
     probed = {p.ns_ip for p in store.domain_probes(domain_id)}
     assert probed == set(record.delegation.nameserver_ips)
+
+
+def test_reactive_production_rate(emit, emit_json):
+    """The overload-aware platform (``repro.reactive``) at production
+    rate: >= 1000 concurrent triggers through the bounded feed, with
+    admission control and budget fairness.  Reports sustained event
+    throughput and the p99 trigger latency; zero silent campaign drops
+    is an assertion, not a hope.
+    """
+    import time
+
+    from repro import WorldConfig, build_world
+    from repro.reactive import CampaignState, ReactiveService, \
+        fast_transport, synthetic_triggers
+    from repro.util.timeutil import HOUR, MINUTE
+
+    world = build_world(WorldConfig(
+        seed=9, start="2021-03-01", end_exclusive="2021-04-01",
+        n_domains=1200, n_selfhosted_providers=40, n_filler_providers=16,
+        attacks_per_month=120))
+    triggers = synthetic_triggers(world, 1000, seed=5, invalid_share=0.02)
+    assert len(triggers) >= 1000
+
+    service = ReactiveService(
+        world, probes_per_window=3, post_attack_s=HOUR, probe_budget=60,
+        feed_capacity=64, backpressure="block",
+        transport=fast_transport(seed=2))
+    t0 = time.perf_counter()
+    report = service.run(triggers)
+    elapsed = time.perf_counter() - t0
+
+    c = report.counts
+    # every trigger accounted for: nothing ever dropped silently
+    assert c["unaccounted"] == 0
+    assert c["feed_shed"] == 0          # block policy loses nothing
+    assert c["done"] > 0
+    events = c["triggers"] + c["probes"]
+    events_per_s = events / elapsed
+    p99 = report.trigger_latency_p99_s
+
+    table = Table(["property", "paper", "measured"],
+                  title="Production-rate reactive platform")
+    for row in [
+        ("concurrent triggers", ">= 1000", str(c["triggers"])),
+        ("campaigns completed", "-", str(c["done"])),
+        ("campaigns shed (loudly)", "-", str(c["shed"])),
+        ("probes recorded", "-", str(c["probes"])),
+        ("sustained events/sec", "-", f"{events_per_s:,.0f}"),
+        ("p99 trigger latency", "<= 10 min or flagged",
+         f"{p99 / MINUTE:.1f} min"),
+        ("silently dropped campaigns", "0", str(c["unaccounted"])),
+    ]:
+        table.add_row(row)
+    emit("reactive_production_rate", table.render())
+    emit_json("reactive_production_rate", {
+        "triggers": c["triggers"],
+        "done": c["done"],
+        "shed": c["shed"],
+        "probes": c["probes"],
+        "events_per_s": round(events_per_s, 1),
+        "p99_trigger_latency_s": p99,
+        "wall_s": round(elapsed, 3),
+    })
+
+    # the SLO contract: done campaigns past the 10-minute trigger
+    # bound carry the ``late`` flag
+    for campaign in report.campaigns:
+        if campaign.state == CampaignState.DONE \
+                and campaign.trigger_latency_s > 10 * MINUTE:
+            assert "late" in campaign.reasons

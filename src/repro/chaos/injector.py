@@ -212,6 +212,28 @@ class FaultInjector:
         return _ChaoticProcessor(processor, self, policy,
                                  self.rngs.stream("processor"))
 
+    # -- workers --------------------------------------------------------------
+
+    def worker_crash_hook(self) -> Optional[Callable[[int], bool]]:
+        """A per-tick kill switch for the reactive campaign worker.
+
+        Returns ``None`` when the ``worker`` policy is null (the worker
+        runs unwrapped, zero overhead). Otherwise returns a callable
+        the worker consults once per 5-minute tick: ``True`` means the
+        worker dies there (``crash`` fault logged) and must be
+        restarted from its last checkpoint.
+        """
+        policy = self.config.worker
+        if policy.is_null:
+            return None
+        rng = self.rngs.stream("worker")
+
+        def should_crash(tick_ts: int) -> bool:
+            return self._fire("worker", "crash", policy.crash_p, rng,
+                              policy, f"tick={tick_ts}")
+
+        return should_crash
+
     # -- the hardened feed path -----------------------------------------------
 
     def harden_feed(self, attacks: Iterable[InferredAttack]) -> List[InferredAttack]:

@@ -28,10 +28,12 @@ FAULT_KINDS = (
     "exception",     # transient processor failure (retryable)
     "clock_skew",    # timestamp perturbed
     "missing_day",   # a whole OpenINTEL day vanishes for one NSSet
+    "crash",         # the worker process dies mid-run (restartable)
 )
 
 _PROB_FIELDS = ("drop_p", "corrupt_p", "truncate_p", "duplicate_p",
-                "reorder_p", "exception_p", "clock_skew_p", "missing_day_p")
+                "reorder_p", "exception_p", "clock_skew_p", "missing_day_p",
+                "crash_p")
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,7 @@ class FaultPolicy:
     clock_skew_p: float = 0.0
     max_clock_skew_s: int = 0
     missing_day_p: float = 0.0
+    crash_p: float = 0.0
     burst_len: int = 1
 
     def __post_init__(self) -> None:
@@ -99,6 +102,10 @@ class ChaosConfig:
       guard rejects and counts them). Null in every preset — enable it
       explicitly to exercise the rejected-row degradation path.
     - ``processor``: stream processors (transient, retryable exceptions).
+    - ``worker``: the reactive campaign worker (``crash_p`` per 5-minute
+      tick — the worker dies and is restarted from its last checkpoint).
+      Null in every study preset; the reactive platform's chaos-soak and
+      ``repro reactive --chaos`` enable it via :meth:`reactive_preset`.
     """
 
     seed: int = 0
@@ -107,12 +114,13 @@ class ChaosConfig:
     store: FaultPolicy = field(default_factory=FaultPolicy)
     ingest: FaultPolicy = field(default_factory=FaultPolicy)
     processor: FaultPolicy = field(default_factory=FaultPolicy)
+    worker: FaultPolicy = field(default_factory=FaultPolicy)
 
     @property
     def is_null(self) -> bool:
         return (self.transport.is_null and self.feed.is_null
                 and self.store.is_null and self.ingest.is_null
-                and self.processor.is_null)
+                and self.processor.is_null and self.worker.is_null)
 
     @classmethod
     def preset(cls, level: str = "moderate", seed: int = 0) -> "ChaosConfig":
@@ -139,10 +147,28 @@ class ChaosConfig:
             processor=FaultPolicy(exception_p=0.02).scaled(factor),
         )
 
+    @classmethod
+    def reactive_preset(cls, level: str = "moderate",
+                        seed: int = 0) -> "ChaosConfig":
+        """A worker-kill-only schedule for the reactive platform.
+
+        Only the ``worker`` surface is armed (``crash_p`` per tick), so
+        a chaos-soaked reactive run must produce a probe store
+        *bit-identical* to an unfaulted one — kills are recovered
+        exactly-once from checkpoints, and no other fault perturbs what
+        the probes observe.
+        """
+        try:
+            crash_p = {"light": 0.01, "moderate": 0.03, "heavy": 0.08}[level]
+        except KeyError:
+            raise ValueError(f"unknown chaos level: {level!r}") from None
+        return cls(seed=seed, worker=FaultPolicy(crash_p=crash_p))
+
     def describe(self) -> str:
         """One line per non-null surface, for logs and CLI output."""
         lines = []
-        for surface in ("transport", "feed", "store", "ingest", "processor"):
+        for surface in ("transport", "feed", "store", "ingest", "processor",
+                        "worker"):
             policy: FaultPolicy = getattr(self, surface)
             if policy.is_null:
                 continue

@@ -21,6 +21,13 @@ Subcommands:
     Print the declared phase DAG (:mod:`repro.engine`) — every
     pipeline phase and lazy analysis with its inputs — as text or,
     with ``--dot``, in Graphviz DOT form.
+``reactive``
+    Drive the production-rate reactive platform
+    (:mod:`repro.reactive`) over a synthetic trigger storm: admission
+    control, backpressure, and — with ``--chaos`` — worker kills
+    recovered exactly-once from checkpoints. The stdout summary is
+    byte-identical with chaos on or off (that is the point); kill and
+    restore counts go to stderr.
 
 Every subcommand accepts ``--trace`` (print the phase-timing tree to
 stderr afterwards) and ``--metrics-out PATH`` (write the run's
@@ -264,6 +271,65 @@ def cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_reactive(args: argparse.Namespace) -> int:
+    from repro import build_world
+    from repro.chaos.injector import FaultInjector
+    from repro.reactive import (
+        ReactiveService,
+        fast_transport,
+        synthetic_triggers,
+    )
+    from repro.util.timeutil import HOUR
+
+    config = WorldConfig(
+        seed=args.seed,
+        start=args.start,
+        end_exclusive=args.end,
+        n_domains=args.domains,
+        n_selfhosted_providers=max(10, args.domains // 30),
+        n_filler_providers=max(5, args.domains // 75),
+        attacks_per_month=120,
+    )
+    telemetry = _telemetry_from(args)
+    injector = None
+    if args.chaos:
+        chaos = ChaosConfig.reactive_preset(args.chaos, seed=args.chaos_seed)
+        injector = FaultInjector(chaos, telemetry=telemetry)
+        print(f"chaos enabled ({args.chaos}, seed {args.chaos_seed}):\n"
+              f"{chaos.describe()}", file=sys.stderr)
+    clock = telemetry.clock
+    t0 = clock.now()
+    print(f"building world ({config.n_domains} domains)...", file=sys.stderr)
+    world = build_world(config)
+    triggers = synthetic_triggers(world, args.triggers,
+                                  seed=args.trigger_seed,
+                                  invalid_share=args.invalid_share)
+    service = ReactiveService(
+        world,
+        probes_per_window=args.probes_per_window,
+        post_attack_s=int(args.post_attack_hours * HOUR),
+        probe_budget=args.probe_budget,
+        feed_capacity=args.capacity,
+        backpressure=args.backpressure,
+        transport=fast_transport(seed=config.seed),
+        telemetry=telemetry)
+    print(f"running {len(triggers)} triggers...", file=sys.stderr)
+    report = service.run(triggers, injector=injector)
+    print(f"done in {clock.now() - t0:.1f}s", file=sys.stderr)
+    # stdout carries only the deterministic summary: a --chaos run must
+    # byte-match a clean one (exactly-once recovery); the chaos side
+    # goes to stderr.
+    print(report.summary())
+    print(report.chaos_summary(), file=sys.stderr)
+    if injector is not None and injector.counts:
+        faults = ", ".join(
+            f"{surface}.{kind}={n}"
+            for (surface, kind), n in sorted(injector.counts.items()))
+        print(f"faults injected: {faults}", file=sys.stderr)
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
 def _format_ts(ts: float) -> str:
     import datetime
 
@@ -310,6 +376,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gc: evict least-recently-used entries until "
                               "the cache fits N bytes")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_reactive = sub.add_parser(
+        "reactive",
+        help="drive the production-rate reactive platform")
+    p_reactive.add_argument("--seed", type=int, default=42)
+    p_reactive.add_argument("--domains", type=int, default=600,
+                            help="registered domains (default 600)")
+    p_reactive.add_argument("--start", default="2021-03-01")
+    p_reactive.add_argument("--end", default="2021-04-01",
+                            help="end date, exclusive")
+    p_reactive.add_argument("--triggers", type=int, default=200, metavar="N",
+                            help="synthetic attack triggers to replay "
+                                 "(default 200)")
+    p_reactive.add_argument("--trigger-seed", type=int, default=0,
+                            help="trigger-storm seed (independent of the "
+                                 "world --seed)")
+    p_reactive.add_argument("--invalid-share", type=float, default=0.02,
+                            help="share of triggers damaged to exercise "
+                                 "the dead-letter path (default 0.02)")
+    p_reactive.add_argument("--probes-per-window", type=int, default=10,
+                            metavar="N",
+                            help="domains probed per campaign per 5-minute "
+                                 "window (paper: 50; default 10)")
+    p_reactive.add_argument("--probe-budget", type=int, default=100,
+                            metavar="N",
+                            help="global domain-probes per window across "
+                                 "all campaigns; overflow waits, throttles, "
+                                 "or sheds — loudly (default 100)")
+    p_reactive.add_argument("--post-attack-hours", type=float, default=2.0,
+                            help="probing tail after each attack ends "
+                                 "(paper: 24h; default 2 for quick runs)")
+    p_reactive.add_argument("--capacity", type=int, default=None, metavar="N",
+                            help="bound the trigger topic to N records "
+                                 "(default unbounded)")
+    p_reactive.add_argument("--backpressure",
+                            choices=("block", "shed_oldest", "reject"),
+                            default="block",
+                            help="bounded-topic overflow policy "
+                                 "(default block)")
+    p_reactive.add_argument("--chaos",
+                            choices=("light", "moderate", "heavy"),
+                            default=None, metavar="LEVEL",
+                            help="kill the worker with per-tick probability "
+                                 "by LEVEL; recovery restores from the last "
+                                 "checkpoint and stdout stays byte-identical")
+    p_reactive.add_argument("--chaos-seed", type=int, default=0,
+                            help="kill-schedule seed (default 0)")
+    _add_obs_args(p_reactive)
+    p_reactive.set_defaults(func=cmd_reactive)
 
     p_graph = sub.add_parser("graph",
                              help="print the declared phase DAG")

@@ -1,0 +1,54 @@
+"""The production-rate reactive platform (§4.3.1, hardened).
+
+The original :class:`repro.core.reactive.ReactivePlatform` schedules
+every triggered campaign unconditionally — correct at study scale,
+hopeless at production event rates. This package rebuilds the platform
+as an overload-aware pipeline:
+
+- triggers flow through a *bounded* topic with a backpressure policy
+  (``block`` / ``shed_oldest`` / ``reject``) and a hardened validation
+  job (schema gate + dead-letter queue);
+- a priority :class:`CampaignScheduler` applies admission control:
+  deadline-ordered probing, a global probe budget, deterministic
+  shedding by documented priority (newest attacks, highest-impact
+  victims first), with every degradation flagged and counted under
+  ``repro.reactive.*`` — never a silent drop;
+- the :class:`CampaignWorker` checkpoints at tick boundaries and the
+  :class:`ReactiveService` restores a killed worker exactly-once: a
+  chaos-soaked run's probe store is bit-identical to an unfaulted one
+  (see ``tests/integration/test_reactive_soak.py``).
+
+The legacy platform remains for study-scale use; this package is the
+one the ``repro reactive`` CLI and the soak/bench suites exercise.
+"""
+
+from repro.reactive.campaigns import (
+    Campaign,
+    CampaignScheduler,
+    CampaignState,
+    TRIGGER_LATENCY_BUCKETS_S,
+    plan_campaign,
+)
+from repro.reactive.service import (
+    CampaignWorker,
+    ReactiveReport,
+    ReactiveService,
+    WorkerKilled,
+    replay_transport,
+)
+from repro.reactive.synth import fast_transport, synthetic_triggers
+
+__all__ = [
+    "Campaign",
+    "CampaignScheduler",
+    "CampaignState",
+    "CampaignWorker",
+    "ReactiveReport",
+    "ReactiveService",
+    "TRIGGER_LATENCY_BUCKETS_S",
+    "WorkerKilled",
+    "fast_transport",
+    "plan_campaign",
+    "replay_transport",
+    "synthetic_triggers",
+]

@@ -10,9 +10,21 @@ Jobs can run *hardened* for faulted inputs: per-record retries with
 backoff and jitter, a dead-letter topic for poison records, a circuit
 breaker degrading to pass-through-with-flagging, and checkpoint/restore
 for exactly-once crash recovery (see ``docs/robustness.md``).
+
+Topics can be *bounded* (``capacity=`` plus a producer-side
+backpressure policy — ``block``, ``shed_oldest``, or ``reject``) and
+the broker keeps per-group committed offsets, so a consumer's position
+survives a worker kill (see ``docs/robustness.md`` §overload).
 """
 
-from repro.streaming.topic import Broker, Consumer, Record, Topic
+from repro.streaming.topic import (
+    BACKPRESSURE_POLICIES,
+    Broker,
+    Consumer,
+    Record,
+    Topic,
+    TopicFull,
+)
 from repro.streaming.scheduler import EventScheduler, ScheduledEvent
 from repro.streaming.processors import (
     CircuitBreaker,
@@ -29,10 +41,12 @@ from repro.streaming.processors import (
 )
 
 __all__ = [
+    "BACKPRESSURE_POLICIES",
     "Broker",
     "Consumer",
     "Record",
     "Topic",
+    "TopicFull",
     "EventScheduler",
     "ScheduledEvent",
     "Processor",

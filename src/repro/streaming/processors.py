@@ -399,9 +399,15 @@ class StreamJob:
         if breaker is not None:
             breaker.record_success()
 
-    def step(self, max_records: Optional[int] = None) -> int:
-        """Process newly-available records; returns how many were read."""
-        records = self.consumer.poll(max_records)
+    def step(self, max_records: Optional[int] = None,
+             until_ts: Optional[int] = None) -> int:
+        """Process newly-available records; returns how many were read.
+
+        ``until_ts`` bounds the read in record time (exclusive), so a
+        virtual-time worker can pump the job only up to its current
+        tick — see :meth:`repro.streaming.topic.Consumer.poll`.
+        """
+        records = self.consumer.poll(max_records, until_ts=until_ts)
         self._c_in.inc(len(records))
         if self._hardened:
             for record in records:

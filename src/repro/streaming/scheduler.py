@@ -89,11 +89,15 @@ class EventScheduler:
         return fired
 
     def run_all(self) -> int:
-        """Fire every pending event."""
+        """Fire every pending event.
+
+        ``n_fired`` accounting happens in :meth:`run_until` alone, so
+        each event is counted exactly once no matter how the loop is
+        driven.
+        """
         last = self.peek_ts()
         fired = 0
         while last is not None:
             fired += self.run_until(last + 1)
             last = self.peek_ts()
-        self.n_fired += 0  # already counted in run_until
         return fired

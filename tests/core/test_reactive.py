@@ -36,6 +36,23 @@ class TestReactiveStore:
         assert store.availability_series(42) == []
         assert store.unresponsive_share(42, Window(0, 100)) == 0.0
 
+    def test_availability_series_with_no_probes(self):
+        assert ReactiveStore().availability_series(1) == []
+
+    def test_first_responsive_after_past_the_last_probe(self):
+        store = self._store()
+        # strictly after the final (answered) probe at ts=610
+        assert store.first_responsive_after(1, 611) is None
+        assert store.first_responsive_after(1, 10 ** 9) is None
+
+    def test_first_responsive_after_with_no_probes(self):
+        assert ReactiveStore().first_responsive_after(1, 0) is None
+
+    def test_unresponsive_share_over_zero_probe_window(self):
+        store = self._store()
+        # the window [900, 1200) contains no probes at all
+        assert store.unresponsive_share(1, Window(900, 1200)) == 0.0
+
 
 class TestReactivePlatform:
     @pytest.fixture(scope="class")

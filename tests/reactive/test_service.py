@@ -1,0 +1,237 @@
+"""The reactive service end to end: accounting, recovery, backpressure."""
+
+import pytest
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.policy import ChaosConfig, FaultPolicy
+from repro.obs import RunTelemetry
+from repro.reactive import (
+    CampaignState,
+    ReactiveService,
+    WorkerKilled,
+    fast_transport,
+    replay_transport,
+    synthetic_triggers,
+)
+from repro.streaming import TopicFull
+from repro.util.timeutil import DAY, FIVE_MINUTES, HOUR, MINUTE, window_start
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="module")
+def world(tiny_world):
+    return tiny_world
+
+
+@pytest.fixture(scope="module")
+def triggers(world):
+    return synthetic_triggers(world, 40, seed=7, invalid_share=0.1)
+
+
+def make_service(world, **overrides):
+    kwargs = dict(probes_per_window=4, post_attack_s=2 * HOUR,
+                  probe_budget=24, transport=fast_transport(seed=1),
+                  checkpoint_every=3)
+    kwargs.update(overrides)
+    return ReactiveService(world, **kwargs)
+
+
+class TestAccounting:
+    def test_every_trigger_is_accounted(self, world, triggers):
+        report = make_service(world).run(triggers)
+        c = report.counts
+        assert c["triggers"] == len(triggers)
+        assert c["unaccounted"] == 0
+        assert (c["feed_shed"] + c["invalid"] + c["ignored"]
+                + c["done"] + c["shed"]) == c["triggers"]
+
+    def test_invalid_triggers_reach_the_dlq(self, world, triggers):
+        service = make_service(world)
+        report = service.run(triggers)
+        assert report.counts["invalid"] > 0
+        dlq = service._broker.topic("rsdos-triggers.dlq")
+        assert len(dlq) == report.counts["invalid"]
+        reasons = {r.value.reason for r in dlq.read(0)}
+        assert any("trigger-schema" in reason for reason in reasons)
+
+    def test_probe_counts_match_the_store(self, world, triggers):
+        report = make_service(world).run(triggers)
+        assert report.counts["probes"] == len(report.store) > 0
+
+    def test_degradation_is_flagged_never_silent(self, world, triggers):
+        report = make_service(world, probe_budget=8).run(triggers)
+        c = report.counts
+        assert c["shed"] + c["throttled"] + c["late"] > 0
+        for campaign in report.campaigns:
+            if campaign.state == CampaignState.SHED:
+                assert "shed" in campaign.reasons
+        assert len(report.degraded_campaigns()) >= c["shed"]
+        assert c["unaccounted"] == 0
+
+    def test_campaigns_end_exactly_at_the_post_attack_tail(self, world):
+        """Paper SLO: probing covers the attack plus the full tail."""
+        trigger = synthetic_triggers(world, 1, seed=3)[0]
+        report = make_service(world, post_attack_s=DAY,
+                              probe_budget=None).run([trigger])
+        campaign = next(c for c in report.campaigns
+                        if c.state == CampaignState.DONE)
+        assert campaign.ends_at == trigger.end + DAY
+        # the last probing window starts before ends_at (the layout may
+        # finish a started window, like the legacy platform's)
+        last_probe = max(p.ts for p in report.store.probes)
+        assert window_start(last_probe) < campaign.ends_at
+        assert campaign.ends_at - last_probe <= FIVE_MINUTES
+        first_probe = min(p.ts for p in report.store.probes)
+        assert first_probe >= window_start(campaign.triggered_at)
+
+    def test_trigger_sla_met_or_flagged(self, world, triggers):
+        report = make_service(world).run(triggers)
+        for campaign in report.campaigns:
+            if campaign.state != CampaignState.DONE:
+                continue
+            if campaign.trigger_latency_s > 10 * MINUTE:
+                assert "late" in campaign.reasons
+
+    def test_summary_is_deterministic(self, world, triggers):
+        first = make_service(world).run(triggers)
+        second = make_service(world).run(triggers)
+        assert first.summary() == second.summary()
+        assert first.store_digest() == second.store_digest()
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("chaos_seed", [1, 2, 3])
+    def test_killed_worker_recovers_bit_identical(self, world, triggers,
+                                                  chaos_seed):
+        clean = make_service(world).run(triggers)
+        injector = FaultInjector(
+            ChaosConfig.reactive_preset("heavy", seed=chaos_seed))
+        chaotic = make_service(world).run(triggers, injector=injector)
+        assert chaotic.counts["kills"] > 0
+        assert chaotic.counts["restores"] == chaotic.counts["kills"]
+        assert chaotic.store_digest() == clean.store_digest()
+        assert chaotic.summary() == clean.summary()
+
+    def test_recovery_with_world_transport(self, world, triggers):
+        """The default replay-safe wrapper over the world's stateful
+        transport is also exactly-once."""
+        clean = ReactiveService(world, probes_per_window=3,
+                                post_attack_s=HOUR, probe_budget=12)
+        base = clean.run(triggers[:8])
+        chaotic = ReactiveService(world, probes_per_window=3,
+                                  post_attack_s=HOUR, probe_budget=12)
+        injector = FaultInjector(ChaosConfig.reactive_preset("heavy", seed=4))
+        faulted = chaotic.run(triggers[:8], injector=injector)
+        assert faulted.counts["kills"] > 0
+        assert faulted.summary() == base.summary()
+
+    def test_restore_cap_is_enforced(self, world, triggers):
+        injector = FaultInjector(ChaosConfig(
+            seed=1, worker=FaultPolicy(crash_p=1.0)))
+        with pytest.raises(RuntimeError, match="restore cap"):
+            make_service(world).run(triggers, injector=injector,
+                                    max_restores=3)
+
+    def test_chaos_summary_reports_kills_separately(self, world, triggers):
+        injector = FaultInjector(
+            ChaosConfig.reactive_preset("moderate", seed=1))
+        report = make_service(world).run(triggers, injector=injector)
+        assert f"kills={report.counts['kills']}" in report.chaos_summary()
+        assert "kills" not in report.summary()
+
+
+class TestBackpressure:
+    def test_block_policy_loses_nothing(self, world, triggers):
+        report = make_service(world, feed_capacity=4,
+                              backpressure="block").run(triggers)
+        assert report.counts["feed_shed"] == 0
+        assert report.counts["unaccounted"] == 0
+
+    def test_block_policy_is_deterministic(self, world, triggers):
+        """Backpressure delays ingestion (decisions can differ from an
+        unbounded batch run, surfacing as ``late`` flags) but the
+        bounded pipeline itself is fully deterministic."""
+        first = make_service(world, feed_capacity=4,
+                             backpressure="block").run(triggers)
+        second = make_service(world, feed_capacity=4,
+                              backpressure="block").run(triggers)
+        assert first.summary() == second.summary()
+
+    def test_block_plus_chaos_stays_exactly_once(self, world, triggers):
+        clean = make_service(world, feed_capacity=4,
+                             backpressure="block").run(triggers)
+        injector = FaultInjector(ChaosConfig.reactive_preset("heavy", seed=5))
+        chaotic = make_service(world, feed_capacity=4,
+                               backpressure="block").run(
+            triggers, injector=injector)
+        assert chaotic.counts["kills"] > 0
+        assert chaotic.summary() == clean.summary()
+
+    def test_shed_oldest_is_counted(self, world, triggers):
+        report = make_service(world, feed_capacity=4,
+                              backpressure="shed_oldest").run(triggers)
+        assert report.counts["feed_shed"] > 0
+        assert report.counts["unaccounted"] == 0
+
+    def test_reject_raises(self, world, triggers):
+        service = make_service(world, feed_capacity=2, backpressure="reject")
+        with pytest.raises(TopicFull):
+            service.run(triggers)
+
+
+class TestTransports:
+    def test_fast_transport_is_pure(self):
+        transport = fast_transport(seed=3, loss=0.2)
+        replies = [transport(9, "example.nl", None, 12345) for _ in range(3)]
+        assert len({(r.rtt_ms, r.rcode) for r in replies}) == 1
+
+    def test_fast_transport_losses(self):
+        transport = fast_transport(seed=3, loss=1.0)
+        assert not transport(9, "x", None, 1).answered
+        transport = fast_transport(seed=3, loss=0.0)
+        assert transport(9, "x", None, 1).answered
+
+    def test_replay_transport_is_pure_and_restores_the_stream(self, world):
+        ns_ip = sorted(world.directory.nameserver_ips())[0]
+        before = world._rng_transport
+        transport = replay_transport(world, seed=1)
+        first = transport(ns_ip, "a.nl", None, 1000)
+        second = transport(ns_ip, "a.nl", None, 1000)
+        assert (first.rtt_ms, first.rcode) == (second.rtt_ms, second.rcode)
+        assert world._rng_transport is before
+
+
+class TestTelemetry:
+    def test_metrics_exposed_under_reactive_namespace(self, world, triggers):
+        telemetry = RunTelemetry.create()
+        service = make_service(world, telemetry=telemetry)
+        report = service.run(triggers)
+        counters = telemetry.registry.snapshot()["counters"]
+        gauges = telemetry.registry.snapshot()["gauges"]
+        histograms = telemetry.registry.snapshot()["histograms"]
+        assert counters["repro.reactive.triggers"] == len(triggers)
+        assert counters["repro.reactive.admitted"] == report.counts["done"]
+        assert counters["repro.reactive.probes"] == report.counts["probes"]
+        assert gauges["repro.reactive.campaigns{state=done}"] == \
+            report.counts["done"]
+        assert gauges["repro.reactive.campaigns{state=shed}"] == \
+            report.counts["shed"]
+        latency = histograms["repro.reactive.trigger_latency_s"]
+        assert latency["count"] == report.counts["done"]
+
+    def test_telemetry_does_not_perturb_results(self, world, triggers):
+        plain = make_service(world).run(triggers)
+        metered = make_service(
+            world, telemetry=RunTelemetry.create()).run(triggers)
+        assert metered.summary() == plain.summary()
+
+    def test_per_campaign_probe_gauges_are_exact(self, world, triggers):
+        telemetry = RunTelemetry.create()
+        report = make_service(world, telemetry=telemetry).run(triggers)
+        gauges = telemetry.registry.snapshot()["gauges"]
+        for campaign in report.campaigns:
+            if campaign.state != CampaignState.DONE:
+                continue
+            key = f"repro.reactive.campaign_probes{{campaign={campaign.key}}}"
+            assert gauges[key] == campaign.n_probes

@@ -206,3 +206,52 @@ class TestGraphCommand:
         out = capsys.readouterr().out
         assert "telescope" in out
         assert "analysis." not in out
+
+
+REACTIVE_FAST = ["reactive", "--domains", "300", "--triggers", "30",
+                 "--probes-per-window", "3", "--probe-budget", "20",
+                 "--post-attack-hours", "1"]
+
+
+class TestReactiveCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["reactive"])
+        assert args.domains == 600
+        assert args.triggers == 200
+        assert args.probes_per_window == 10
+        assert args.capacity is None
+        assert args.backpressure == "block"
+        assert args.chaos is None
+
+    def test_parser_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reactive", "--backpressure", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reactive", "--chaos", "nope"])
+
+    def test_reactive_runs(self, capsys):
+        assert main(REACTIVE_FAST) == 0
+        out = capsys.readouterr().out
+        assert "reactive: triggers=30" in out
+        assert "unaccounted=0" in out
+        assert "store sha256:" in out
+
+    def test_chaos_stdout_is_byte_identical(self, capsys):
+        """Exactly-once recovery, observable from the outside: the
+        deterministic summary on stdout must not change under chaos."""
+        assert main(REACTIVE_FAST) == 0
+        clean = capsys.readouterr()
+        assert main(REACTIVE_FAST + ["--chaos", "heavy",
+                                     "--chaos-seed", "3"]) == 0
+        chaotic = capsys.readouterr()
+        assert chaotic.out == clean.out
+        assert "kills=" in chaotic.err
+        assert "worker.crash=" in chaotic.err
+
+    def test_metrics_out(self, tmp_path, capsys):
+        path = str(tmp_path / "reactive-metrics.json")
+        assert main(REACTIVE_FAST + ["--metrics-out", path]) == 0
+        with open(path) as fh:
+            metrics = json.load(fh)["metrics"]
+        assert metrics["counters"]["repro.reactive.triggers"] == 30
+        assert "repro.reactive.trigger_latency_s" in metrics["histograms"]
