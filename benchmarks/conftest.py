@@ -7,10 +7,19 @@ and to ``benchmarks/out/<name>.txt`` so the results survive pytest's
 output capture.
 
 Benchmarks with numeric results additionally dump them machine-readable
-via ``emit_json`` as ``benchmarks/out/BENCH_<name>.json`` in the
-``repro.obs/v1`` telemetry snapshot schema (each value a
-``repro.bench.<name>.<key>`` gauge), so a perf trajectory accumulates
-across runs in one parseable format.
+via ``emit_json`` as ``BENCH_<name>.json`` in the ``repro.obs/v1``
+telemetry snapshot schema (each value a ``repro.bench.<name>.<key>``
+gauge), so a perf trajectory accumulates across runs in one parseable
+format. Unlike the rendered ``.txt`` files (scratch output under the
+gitignored ``benchmarks/out/``), the JSON snapshots land in the
+**tracked** ``benchmarks/baselines/`` directory — the perf trajectory
+is only a trajectory if the snapshots actually reach version control —
+or wherever ``REPRO_BENCH_OUT`` points (CI uploads them as artifacts
+from there).
+
+``REPRO_BENCH_DOMAINS`` scales the shared study's domain population
+(default 20000) so CI smoke runs can exercise the full bench path in
+seconds.
 """
 
 from __future__ import annotations
@@ -25,9 +34,15 @@ from repro import ReactivePlatform, RunTelemetry, WorldConfig, run_study
 # that the mega-anycast providers sit a full domain-count decade above
 # the mid-market tier, which Figure 8 stratifies on). One build is
 # shared by every benchmark in the session (~2-3 minutes).
-BENCH_CONFIG = WorldConfig(n_domains=20_000, attacks_per_month=1500)
+BENCH_CONFIG = WorldConfig(
+    n_domains=int(os.environ.get("REPRO_BENCH_DOMAINS", "20000")),
+    attacks_per_month=1500)
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+#: where BENCH_*.json perf snapshots go: a tracked baseline directory
+#: by default, or the CI artifact staging dir via REPRO_BENCH_OUT.
+JSON_OUT_DIR = (os.environ.get("REPRO_BENCH_OUT")
+                or os.path.join(os.path.dirname(__file__), "baselines"))
 
 
 @pytest.fixture(scope="session")
@@ -74,15 +89,17 @@ def emit_json():
     ``values`` is a flat mapping of result keys to numbers; each becomes
     a ``repro.bench.<name>.<key>`` gauge and the file is a full
     ``repro.obs/v1`` snapshot, parseable by the same tooling that reads
-    ``--metrics-out`` files.
+    ``--metrics-out`` files. Snapshots go to :data:`JSON_OUT_DIR` — the
+    tracked ``benchmarks/baselines/`` unless ``REPRO_BENCH_OUT``
+    redirects them (e.g. to a CI artifact directory).
     """
-    os.makedirs(OUT_DIR, exist_ok=True)
+    os.makedirs(JSON_OUT_DIR, exist_ok=True)
 
     def _emit_json(name: str, values) -> str:
         telemetry = RunTelemetry.create()
         for key, value in sorted(values.items()):
             telemetry.registry.gauge(f"repro.bench.{name}.{key}").set(value)
-        path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+        path = os.path.join(JSON_OUT_DIR, f"BENCH_{name}.json")
         telemetry.write_json(path)
         return path
 

@@ -42,8 +42,11 @@ __all__ = ["SCHEMA_VERSIONS", "PHASES", "canonical_config",
 #: its artifact format (or the semantics of the phase itself) changes;
 #: chaining invalidates everything downstream automatically.
 SCHEMA_VERSIONS: Dict[str, int] = {
-    "telescope": 1,
-    "crawl": 1,
+    # v2: max_ppm jitter moved off the shared rng onto per-(victim,
+    # window) derived streams — same artifact format, different bytes.
+    "telescope": 2,
+    # v2: columnar store layout (column arrays instead of row dicts).
+    "crawl": 2,
     "join": 1,
     "events": 1,
 }

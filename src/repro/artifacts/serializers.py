@@ -39,7 +39,11 @@ __all__ = [
 ]
 
 _FEED_SCHEMA = "repro.artifacts.feed/v1"
-_STORE_SCHEMA = "repro.artifacts.store/v1"
+_STORE_SCHEMA_V1 = "repro.artifacts.store/v1"
+#: v2: columnar layout — one flat vector per aggregate field instead of
+#: one row list per aggregate, so a warm crawl read deserializes a few
+#: long JSON arrays and rebuilds aggregates in one tight column walk.
+_STORE_SCHEMA = "repro.artifacts.store/v2"
 _JOIN_SCHEMA = "repro.artifacts.join/v1"
 _EVENTS_SCHEMA = "repro.artifacts.events/v1"
 
@@ -102,11 +106,6 @@ _AGG_COLUMNS = ("n", "ok_n", "rtt_sum", "rtt_min", "rtt_max",
                 "timeout_n", "servfail_n", "other_err_n")
 
 
-def _agg_row(key, agg: Aggregate) -> List:
-    nsset_id, ts = key
-    return [nsset_id, ts, *agg.state()]
-
-
 def _agg_from_row(row) -> Aggregate:
     agg = Aggregate()
     agg.n = row[2]
@@ -124,6 +123,41 @@ def _agg_from_row(row) -> Aggregate:
     return agg
 
 
+def _table_doc(table) -> Dict:
+    """One aggregate dict as sorted column vectors (the v2 layout)."""
+    rows = sorted(table.items())
+    states = [agg.state() for _, agg in rows]
+    doc: Dict = {
+        "nsset_id": [key[0] for key, _ in rows],
+        "ts": [key[1] for key, _ in rows],
+    }
+    for i, name in enumerate(_AGG_COLUMNS):
+        doc[name] = [state[i] for state in states]
+    return doc
+
+
+def _table_load(doc: Dict, target) -> None:
+    """Rebuild one aggregate dict from v2 column vectors."""
+    nsset_id = doc["nsset_id"]
+    ts = doc["ts"]
+    cols = [doc[name] for name in _AGG_COLUMNS]
+    n_col, ok_col, sum_col, min_col, max_col, to_col, sf_col, oe_col = cols
+    for i in range(len(nsset_id)):
+        agg = Aggregate()
+        agg.n = n_col[i]
+        agg.ok_n = ok_col[i]
+        # [rtt_sum] represents the same exact value as the original
+        # multi-term expansion (see _agg_from_row).
+        rtt_sum = float(sum_col[i])
+        agg._rtt_partials = [rtt_sum] if rtt_sum else []
+        agg.rtt_min = float(min_col[i])
+        agg.rtt_max = float(max_col[i])
+        agg.timeout_n = to_col[i]
+        agg.servfail_n = sf_col[i]
+        agg.other_err_n = oe_col[i]
+        target[(nsset_id[i], ts[i])] = agg
+
+
 def dumps_store(store: MeasurementStore) -> bytes:
     """Serialize daily + dense 5-minute aggregates and ingest totals."""
     return _dumps({
@@ -132,22 +166,32 @@ def dumps_store(store: MeasurementStore) -> bytes:
         "n_measurements": store.n_measurements,
         "n_rejected": store.n_rejected,
         "n_merges": store.n_merges,
-        "daily": [_agg_row(k, a) for k, a in sorted(store.daily.items())],
-        "buckets": [_agg_row(k, a) for k, a in sorted(store.buckets.items())],
+        "daily": _table_doc(store.daily),
+        "buckets": _table_doc(store.buckets),
     })
 
 
 def loads_store(data: bytes) -> MeasurementStore:
-    """Deserialize :func:`dumps_store` output (exact round-trip)."""
-    doc = _loads(data, _STORE_SCHEMA)
+    """Deserialize a cached store — the v2 columnar layout, or the v1
+    row layout still found in caches written before the migration.
+    Either way the round-trip is exact."""
+    doc = json.loads(data.decode("utf-8"))
+    found = doc.get("schema")
+    if found not in (_STORE_SCHEMA, _STORE_SCHEMA_V1):
+        raise ValueError(f"artifact schema mismatch: expected "
+                         f"{_STORE_SCHEMA!r}, found {found!r}")
     store = MeasurementStore()
     store.n_measurements = doc["n_measurements"]
     store.n_rejected = doc["n_rejected"]
     store.n_merges = doc["n_merges"]
-    for row in doc["daily"]:
-        store.daily[(row[0], row[1])] = _agg_from_row(row)
-    for row in doc["buckets"]:
-        store.buckets[(row[0], row[1])] = _agg_from_row(row)
+    if found == _STORE_SCHEMA_V1:
+        for row in doc["daily"]:
+            store.daily[(row[0], row[1])] = _agg_from_row(row)
+        for row in doc["buckets"]:
+            store.buckets[(row[0], row[1])] = _agg_from_row(row)
+        return store
+    _table_load(doc["daily"], store.daily)
+    _table_load(doc["buckets"], store.buckets)
     return store
 
 

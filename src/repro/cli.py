@@ -74,6 +74,12 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                              "pre-built world (default 1 = serial); the "
                              "results are bit-for-bit identical for any "
                              "N, chaos runs force serial")
+    parser.add_argument("--columnar", action="store_true",
+                        help="run the hottest phases (telescope "
+                             "inference, crawl ingest, event extraction) "
+                             "over repro.columnar batch columns; output "
+                             "is bit-identical to the object path, chaos "
+                             "runs force the object path")
     _add_cache_args(parser)
 
 
@@ -152,7 +158,8 @@ def _run(args: argparse.Namespace):
     t0 = clock.now()
     study = run_study(config, chaos=chaos, n_workers=workers,
                       telemetry=telemetry,
-                      cache=getattr(args, "cache_dir", None))
+                      cache=getattr(args, "cache_dir", None),
+                      columnar=getattr(args, "columnar", False))
     print(f"done in {clock.now() - t0:.1f}s", file=sys.stderr)
     if study.chaos is not None:
         print(study.chaos.summary(), file=sys.stderr)

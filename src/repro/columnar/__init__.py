@@ -1,0 +1,67 @@
+"""Structure-of-arrays batches for the pipeline's hottest paths.
+
+The object pipeline moves one Python object per backscatter window,
+per crawl measurement, and per 5-minute bucket through its inner
+loops. At paper scale (~3 B telescope packets, 17 months of daily
+crawls) that per-record overhead caps the world sizes the figure
+benches can reach. This package keeps the *numbers* in flat columns
+(stdlib ``array`` buffers, viewed through NumPy when it is available)
+and crosses back into objects only at group boundaries.
+
+Three batch families, one per hot path:
+
+- :class:`~repro.columnar.crawl.MeasurementBatch` — crawl ingest rows,
+  flushed into a :class:`~repro.openintel.storage.MeasurementStore`
+  with one group-by instead of one ``add_fast`` per row;
+- :class:`~repro.columnar.telescope.ObservationBatch` — telescope
+  window observations, with batched RSDoS inference and feed curation;
+- :class:`~repro.columnar.frame.StoreFrame` /
+  :class:`~repro.columnar.events.EventFrame` — read-side columns over
+  the filled store and the extracted events, for the 5-minute
+  join/aggregation and the Figure-8 impact analysis.
+
+Exactness contract
+------------------
+
+Every columnar routine is **bit-identical** to its object counterpart
+(the PR 5 goldens assert it end to end). The load-bearing fact: the
+object store keeps RTT sums as Shewchuk exact expansions, so its
+``rtt_sum`` is the *correctly-rounded* sum of the ingested multiset —
+and ``math.fsum`` over a group's raw values yields exactly that same
+correctly-rounded sum, in any order. Columnar flushes therefore
+compute one ``fsum`` per (NSSet, interval) group over *all* of the
+group's values (sharded crawls concatenate shard batches before the
+single flush — per-shard partial sums would round twice). Counts,
+minima, and maxima are order-invariant by construction. NumPy is used
+only where it cannot perturb a bit: integer reductions, comparisons,
+min/max, sorting, and searching — never for float sums.
+
+NumPy is optional: every routine has a stdlib fallback with the same
+output (the CI test matrix runs without NumPy installed), so
+:data:`HAVE_NUMPY` only selects the faster implementation.
+"""
+
+from __future__ import annotations
+
+from repro.columnar.batchlib import HAVE_NUMPY, numpy_or_none
+from repro.columnar.crawl import MeasurementBatch
+from repro.columnar.telescope import (
+    ObservationBatch,
+    curate_records,
+    infer_attacks,
+)
+from repro.columnar.frame import StoreFrame, impact_series_frame
+from repro.columnar.events import EventFrame, analyze_impact_frame
+
+__all__ = [
+    "HAVE_NUMPY",
+    "numpy_or_none",
+    "MeasurementBatch",
+    "ObservationBatch",
+    "infer_attacks",
+    "curate_records",
+    "StoreFrame",
+    "impact_series_frame",
+    "EventFrame",
+    "analyze_impact_frame",
+]

@@ -1,0 +1,22 @@
+"""The optional-NumPy gate shared by every columnar module.
+
+Lives in its own module (rather than the package ``__init__``) so the
+batch implementations can import it without a circular import through
+the package's re-exports.
+"""
+
+from __future__ import annotations
+
+try:  # the container ships numpy; bare CI runners may not.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on bare runners
+    _np = None
+
+#: Whether NumPy is importable; columnar routines fall back to
+#: bit-identical stdlib implementations when it is not.
+HAVE_NUMPY = _np is not None
+
+
+def numpy_or_none():
+    """The ``numpy`` module when importable, else ``None``."""
+    return _np

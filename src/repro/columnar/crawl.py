@@ -1,0 +1,331 @@
+"""Columnar crawl ingest: measurement rows as flat columns.
+
+The object crawl calls :meth:`MeasurementStore.add_fast` once per
+measurement — two dict probes, an :class:`Aggregate` method call, and a
+Shewchuk fold per row. :class:`MeasurementBatch` instead appends each
+row to five stdlib ``array`` columns (integers and doubles, no object
+per row) and folds the whole batch into the store with **one group-by**:
+per (NSSet, interval) group, counts and min/max are accumulated
+directly and the RTT sum is a single ``math.fsum`` over the group's
+values.
+
+``fsum`` returns the correctly-rounded sum of its input multiset in
+any order — the exact value the object path's per-row Shewchuk
+expansion represents — so a flushed store is bit-identical to one
+filled by ``add_fast``, *provided each group sees all of its values in
+one flush*. Sharded crawls must therefore concatenate their shard
+batches and flush once (see
+:meth:`repro.openintel.platform.OpenIntelPlatform.run_parallel`);
+flushing into a store that already holds a group's aggregate falls
+back to per-value exact folds, which is equally exact but loses the
+batch speedup.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.columnar import batchlib
+from repro.dns.rcode import ResponseStatus
+from repro.openintel.storage import Aggregate, MeasurementStore, _exact_add
+from repro.util.timeutil import DAY, FIVE_MINUTES
+
+__all__ = ["MeasurementBatch", "STATUS_CODES", "STATUS_BY_CODE"]
+
+#: Stable small-int code per :class:`ResponseStatus`, in declaration
+#: order — the ``status`` column's value domain.
+STATUS_CODES: Dict[ResponseStatus, int] = {
+    status: code for code, status in enumerate(ResponseStatus)}
+STATUS_BY_CODE: Tuple[ResponseStatus, ...] = tuple(ResponseStatus)
+
+_OK = STATUS_CODES[ResponseStatus.OK]
+_TIMEOUT = STATUS_CODES[ResponseStatus.TIMEOUT]
+_SERVFAIL = STATUS_CODES[ResponseStatus.SERVFAIL]
+
+
+class MeasurementBatch:
+    """SoA buffer of crawl measurement rows awaiting one flush."""
+
+    __slots__ = ("nsset_id", "ts", "status", "rtt_ms", "dense")
+
+    def __init__(self) -> None:
+        self.nsset_id = array("q")
+        self.ts = array("q")
+        self.status = array("b")
+        self.rtt_ms = array("d")
+        self.dense = array("b")
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def append(self, nsset_id: int, ts: int, status: ResponseStatus,
+               rtt_ms: float, dense: bool) -> None:
+        """Buffer one measurement row (``add_fast``'s exact signature)."""
+        self.nsset_id.append(nsset_id)
+        self.ts.append(ts)
+        self.status.append(STATUS_CODES[status])
+        self.rtt_ms.append(rtt_ms)
+        self.dense.append(1 if dense else 0)
+
+    def extend(self, other: "MeasurementBatch") -> None:
+        """Concatenate another batch's rows (shard merge, in the parent)."""
+        self.nsset_id.extend(other.nsset_id)
+        self.ts.extend(other.ts)
+        self.status.extend(other.status)
+        self.rtt_ms.extend(other.rtt_ms)
+        self.dense.extend(other.dense)
+
+    # -- the flush ---------------------------------------------------------------
+
+    def flush_into(self, store: MeasurementStore,
+                   registry=None) -> None:
+        """Fold every buffered row into ``store``, bit-identically to
+        the equivalent sequence of ``add_fast`` calls.
+
+        ``registry`` (a :class:`repro.obs.MetricsRegistry`, optional)
+        receives the ``repro.columnar.*`` batch counters.
+        """
+        np = batchlib.numpy_or_none()
+        # The fold mass-allocates acyclic, immediately-retained objects
+        # (aggregates, partials lists) — every generational GC pass it
+        # triggers scans the heap and frees nothing, so pause cyclic
+        # collection for the duration of the flush.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if np is not None:
+                groups, rejected = self._flush_numpy(np, store)
+            else:
+                groups, rejected = self._flush_stdlib(store)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if registry is not None and registry.enabled:
+            registry.counter("repro.columnar.batches",
+                             kind="measurement").inc()
+            registry.counter("repro.columnar.rows",
+                             kind="measurement").inc(len(self))
+            registry.counter("repro.columnar.rejected_rows").inc(rejected)
+            registry.counter("repro.columnar.groups").inc(groups)
+            registry.gauge("repro.columnar.numpy").set(
+                1.0 if np is not None else 0.0)
+
+    def _flush_stdlib(self, store: MeasurementStore) -> Tuple[int, int]:
+        max_rtt = MeasurementStore.MAX_RTT_MS
+        daily: Dict[Tuple[int, int], List] = {}
+        buckets: Dict[Tuple[int, int], List] = {}
+        rejected = 0
+        accepted = 0
+        rows = zip(self.nsset_id, self.ts, self.status, self.rtt_ms,
+                   self.dense)
+        for nsset_id, ts, code, rtt, dense in rows:
+            if not 0.0 <= rtt <= max_rtt:  # False for NaN too
+                rejected += 1
+                continue
+            accepted += 1
+            _group_add(daily, (nsset_id, ts - ts % DAY), code, rtt)
+            if dense:
+                _group_add(buckets, (nsset_id, ts - ts % FIVE_MINUTES),
+                           code, rtt)
+        store.n_measurements += accepted
+        store.n_rejected += rejected
+        for key, acc in daily.items():
+            _fold_group(store.daily, key, acc[0], acc[1], acc[2], acc[3])
+        for key, acc in buckets.items():
+            _fold_group(store.buckets, key, acc[0], acc[1], acc[2], acc[3])
+        return len(daily) + len(buckets), rejected
+
+    def _flush_numpy(self, np, store: MeasurementStore) -> Tuple[int, int]:
+        ns = np.frombuffer(self.nsset_id, dtype=np.int64)
+        ts = np.frombuffer(self.ts, dtype=np.int64)
+        st = np.frombuffer(self.status, dtype=np.int8)
+        rt = np.frombuffer(self.rtt_ms, dtype=np.float64)
+        dn = np.frombuffer(self.dense, dtype=np.int8)
+        accept = (rt >= 0.0) & (rt <= MeasurementStore.MAX_RTT_MS)
+        n_accepted = int(np.count_nonzero(accept))
+        rejected = ns.size - n_accepted
+        store.n_measurements += n_accepted
+        store.n_rejected += rejected
+        if not n_accepted:
+            return 0, rejected
+        # One stable sort by (nsset, ts) makes the groups of *both*
+        # folds contiguous (a day and a 5-minute window are each a ts
+        # range). The single combined-key argsort is the common fast
+        # case: rejected rows get key -1, sort to the front, and are
+        # sliced off the permutation — no separate filter pass.
+        # Out-of-range ids/timestamps fall back to filter + lexsort.
+        if (int(ts.min()) >= 0 and int(ts.max()) < 2 ** 32
+                and int(ns.min()) >= 0 and int(ns.max()) < 2 ** 31):
+            key = ns * np.int64(2 ** 32) + ts
+            if rejected:
+                key = np.where(accept, key, np.int64(-1))
+            order = np.argsort(key, kind="stable")[rejected:]
+        else:
+            if rejected:
+                ns, ts, st, rt, dn = (ns[accept], ts[accept], st[accept],
+                                      rt[accept], dn[accept])
+            order = np.lexsort((ts, ns))
+        ns_s = ns[order]
+        ts_s = ts[order]
+        st_s = st[order]
+        rt_s = rt[order]
+        dn_s = dn[order]
+        groups = _fold_numpy(np, store.daily, ns_s, ts_s - ts_s % DAY,
+                             st_s, rt_s)
+        dense_mask = dn_s != 0
+        if dense_mask.any():
+            ts_d = ts_s[dense_mask]
+            groups += _fold_numpy(np, store.buckets, ns_s[dense_mask],
+                                  ts_d - ts_d % FIVE_MINUTES,
+                                  st_s[dense_mask], rt_s[dense_mask])
+        return groups, rejected
+
+
+def _group_add(groups: Dict[Tuple[int, int], List],
+               key: Tuple[int, int], code: int, rtt: float) -> None:
+    """Accumulate one accepted row into a group: ``[ok_rtts, timeout,
+    servfail, other]``."""
+    acc = groups.get(key)
+    if acc is None:
+        acc = groups[key] = [[], 0, 0, 0]
+    if code == _OK:
+        acc[0].append(rtt)
+    elif code == _TIMEOUT:
+        acc[1] += 1
+    elif code == _SERVFAIL:
+        acc[2] += 1
+    else:
+        acc[3] += 1
+
+
+def _fold_group(target: Dict[Tuple[int, int], Aggregate],
+                key: Tuple[int, int], ok_rtts: List[float],
+                timeout_n: int, servfail_n: int, other_n: int,
+                rtt_min: Optional[float] = None,
+                rtt_max: Optional[float] = None) -> None:
+    """Fold one group's accumulated columns into a store dict.
+
+    A fresh aggregate is filled directly — its sum expansion is the
+    single ``fsum`` of the group, which represents the same exact value
+    as a per-row Shewchuk expansion would. An *existing* aggregate
+    (flush into a pre-populated store) is extended per value with
+    ``_exact_add``, keeping exactness at object-path speed.
+    """
+    agg = target.get(key)
+    if agg is None:
+        agg = Aggregate()
+        target[key] = agg
+        n_ok = len(ok_rtts)
+        agg.n = n_ok + timeout_n + servfail_n + other_n
+        agg.ok_n = n_ok
+        if n_ok:
+            total = math.fsum(ok_rtts)
+            agg._rtt_partials = [total] if total else []
+            agg.rtt_min = rtt_min if rtt_min is not None else min(ok_rtts)
+            agg.rtt_max = rtt_max if rtt_max is not None else max(ok_rtts)
+        agg.timeout_n = timeout_n
+        agg.servfail_n = servfail_n
+        agg.other_err_n = other_n
+        return
+    agg.n += len(ok_rtts) + timeout_n + servfail_n + other_n
+    agg.ok_n += len(ok_rtts)
+    for rtt in ok_rtts:
+        _exact_add(agg._rtt_partials, rtt)
+        if rtt < agg.rtt_min:
+            agg.rtt_min = rtt
+        if rtt > agg.rtt_max:
+            agg.rtt_max = rtt
+    agg.timeout_n += timeout_n
+    agg.servfail_n += servfail_n
+    agg.other_err_n += other_n
+
+
+def _fold_numpy(np, target: Dict[Tuple[int, int], Aggregate],
+                ns_s, ts_s, st_s, rt_s) -> int:
+    """Fold each contiguous ``(ns, key_ts)`` group into ``target``.
+
+    The caller hands columns already sorted by (nsset, ts), so every
+    group is a contiguous run. NumPy performs only bit-exact work
+    here: boundary detection, integer count reductions, and float
+    min/max. The per-group RTT sum is ``math.fsum`` over the group's
+    slice.
+    """
+    n = ns_s.size
+    if n == 0:
+        return 0
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.logical_or(ns_s[1:] != ns_s[:-1], ts_s[1:] != ts_s[:-1],
+                  out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, n))
+    ok = st_s == _OK
+    # dtype= accumulates the bool masks in int64 without materializing
+    # an astype copy per mask.
+    ok_per = np.add.reduceat(ok, starts, dtype=np.int64)
+    timeout_per = np.add.reduceat(st_s == _TIMEOUT, starts, dtype=np.int64)
+    servfail_per = np.add.reduceat(st_s == _SERVFAIL, starts,
+                                   dtype=np.int64)
+    other_per = counts - ok_per - timeout_per - servfail_per
+    # min over OK values (inf fill -> Aggregate's empty default); max
+    # with 0.0 fill matches the object path's 0.0 floor (RTTs are >= 0).
+    min_per = np.minimum.reduceat(np.where(ok, rt_s, np.inf), starts)
+    max_per = np.maximum.reduceat(np.where(ok, rt_s, 0.0), starts)
+    rt_ok = rt_s[ok].tolist()
+    if target:
+        # Pre-populated store: some groups may already hold an
+        # aggregate, so take the careful per-group fold.
+        pos = 0
+        for key_ns, key_ts_v, n_ok, t_n, s_n, o_n, mn, mx in zip(
+                ns_s[starts].tolist(), ts_s[starts].tolist(),
+                ok_per.tolist(), timeout_per.tolist(),
+                servfail_per.tolist(), other_per.tolist(),
+                min_per.tolist(), max_per.tolist()):
+            nxt = pos + n_ok
+            _fold_group(target, (key_ns, key_ts_v), rt_ok[pos:nxt],
+                        t_n, s_n, o_n,
+                        rtt_min=mn if n_ok else None,
+                        rtt_max=mx if n_ok else None)
+            pos = nxt
+        return len(starts)
+    # Empty store (the standard crawl flush): every group is new, the
+    # min/max fill values equal a fresh aggregate's defaults, and the
+    # sorted keys are distinct. Keep the per-group Python down to one
+    # `_new_aggregate` call by driving everything else from C: group
+    # slices and their exact sums come from mapped ``slice``/``fsum``,
+    # keys from a zipped pair of columns, and insertion is one
+    # ``dict.update`` over the zipped (key, aggregate) stream.
+    ends = np.cumsum(ok_per).tolist()
+    totals = map(math.fsum,
+                 map(rt_ok.__getitem__, map(slice, [0] + ends[:-1], ends)))
+    target.update(zip(
+        zip(ns_s[starts].tolist(), ts_s[starts].tolist()),
+        map(_new_aggregate, counts.tolist(), ok_per.tolist(),
+            timeout_per.tolist(), servfail_per.tolist(),
+            other_per.tolist(), min_per.tolist(), max_per.tolist(),
+            totals)))
+    return len(starts)
+
+
+def _new_aggregate(n, ok_n, timeout_n, servfail_n, other_n, rtt_min,
+                   rtt_max, total,
+                   _new=Aggregate.__new__, _cls=Aggregate) -> Aggregate:
+    """Build one fresh aggregate from its group's folded columns.
+
+    Hot path (called once per group of a full-crawl flush): the bound
+    ``_new``/``_cls`` defaults skip the global lookups per call.
+    """
+    agg = _new(_cls)
+    agg.n = n
+    agg.ok_n = ok_n
+    agg._rtt_partials = [total] if total else []
+    agg.rtt_min = rtt_min
+    agg.rtt_max = rtt_max
+    agg.timeout_n = timeout_n
+    agg.servfail_n = servfail_n
+    agg.other_err_n = other_n
+    return agg

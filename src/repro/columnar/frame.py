@@ -1,0 +1,159 @@
+"""Read-side columns over a filled measurement store.
+
+The events phase asks the store for every (NSSet, 5-minute) bucket in
+every attack window — :meth:`MeasurementStore.buckets_in` probes the
+bucket dict once per 5-minute step, present or not, and touches one
+:class:`Aggregate` object per hit (whose ``rtt_sum`` re-runs ``fsum``
+over its partials on every read). A :class:`StoreFrame` is built once
+per store: bucket keys sorted by (NSSet, ts) with every aggregate
+column — including the *precomputed* correctly-rounded ``rtt_sum`` and
+validity flag — flattened into plain lists. Window queries become two
+binary searches over a contiguous per-NSSet slice.
+
+Pure stdlib (``bisect`` over flat lists); identical with or without
+NumPy. :func:`impact_series_frame` and :func:`extract_events_frame`
+are bit-identical to :func:`repro.core.metrics.impact_series` and
+:func:`repro.core.events.extract_events`: the same aggregates qualify,
+the same divisions run on the same floats, and points arrive in the
+same order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+from repro.core.events import EVENT_MIN_BUCKET_N, AttackEvent
+from repro.core.join import DatasetJoin
+from repro.core.metrics import (
+    BASELINE_FALLBACK_DAYS,
+    ImpactPoint,
+    ImpactSeries,
+    compute_baseline_degraded,
+    impact_on_rtt,
+)
+from repro.core.nsset import NSSetMetadata
+from repro.openintel.storage import MeasurementStore
+from repro.util.timeutil import Window, window_start
+
+__all__ = ["StoreFrame", "impact_series_frame", "extract_events_frame"]
+
+
+class StoreFrame:
+    """Sorted (NSSet, ts) bucket columns over one measurement store."""
+
+    __slots__ = ("store", "ts", "n", "ok", "rtt_sum", "timeout_n",
+                 "servfail_n", "valid", "_ranges")
+
+    def __init__(self, store: MeasurementStore, registry=None):
+        self.store = store
+        items = sorted(store.buckets.items())
+        self.ts: List[int] = []
+        self.n: List[int] = []
+        self.ok: List[int] = []
+        self.rtt_sum: List[float] = []
+        self.timeout_n: List[int] = []
+        self.servfail_n: List[int] = []
+        self.valid: List[bool] = []
+        #: nsset_id -> contiguous [lo, hi) slice of the sorted columns.
+        self._ranges: Dict[int, Tuple[int, int]] = {}
+        current = None
+        lo = 0
+        for i, ((nsset_id, ts), agg) in enumerate(items):
+            if nsset_id != current:
+                if current is not None:
+                    self._ranges[current] = (lo, i)
+                current = nsset_id
+                lo = i
+            self.ts.append(ts)
+            self.n.append(agg.n)
+            self.ok.append(agg.ok_n)
+            self.rtt_sum.append(agg.rtt_sum)
+            self.timeout_n.append(agg.timeout_n)
+            self.servfail_n.append(agg.servfail_n)
+            self.valid.append(agg.is_valid)
+        if current is not None:
+            self._ranges[current] = (lo, len(items))
+        if registry is not None and registry.enabled:
+            registry.counter("repro.columnar.frame_builds").inc()
+            registry.gauge("repro.columnar.frame_buckets").set(len(items))
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def window_slice(self, nsset_id: int, start: int, end: int
+                     ) -> Tuple[int, int]:
+        """The [lo, hi) column slice of a NSSet's buckets in a window.
+
+        Matches ``buckets_in`` exactly: bucket keys are always 5-minute
+        aligned, so "every aligned step with a present bucket" equals
+        "every stored ts in [window_start(start), end)".
+        """
+        lo, hi = self._ranges.get(nsset_id, (0, 0))
+        if lo == hi:
+            return 0, 0
+        left = bisect_left(self.ts, window_start(start), lo, hi)
+        right = bisect_left(self.ts, end, lo, hi)
+        return left, right
+
+
+def impact_series_frame(frame: StoreFrame, nsset_id: int, window: Window,
+                        baseline_kind: str = "day",
+                        min_bucket_n: int = 1,
+                        baseline_fallback_days: int = BASELINE_FALLBACK_DAYS
+                        ) -> ImpactSeries:
+    """:func:`repro.core.metrics.impact_series` over a frame.
+
+    The baseline still reads the store's daily dict (one lookup per
+    horizon day); only the 5-minute bucket walk is columnar.
+    """
+    baseline, fell_back = compute_baseline_degraded(
+        frame.store, nsset_id, window.start, baseline_kind,
+        baseline_fallback_days)
+    series = ImpactSeries(nsset_id=nsset_id, window=window,
+                          baseline_rtt=baseline, min_bucket_n=min_bucket_n,
+                          degraded=fell_back)
+    lo, hi = frame.window_slice(nsset_id, window.start, window.end)
+    ts = frame.ts
+    n = frame.n
+    ok = frame.ok
+    rtt_sum = frame.rtt_sum
+    timeout_n = frame.timeout_n
+    servfail_n = frame.servfail_n
+    valid = frame.valid
+    points = series.points
+    for i in range(lo, hi):
+        if not valid[i]:
+            series.n_corrupt += 1
+            series.degraded = True
+            continue
+        ok_i = ok[i]
+        avg = rtt_sum[i] / ok_i if ok_i else None
+        points.append(ImpactPoint(
+            ts=ts[i], n=n[i], ok=ok_i, timeouts=timeout_n[i],
+            servfails=servfail_n[i], avg_rtt=avg,
+            impact=impact_on_rtt(avg, baseline)))
+    return series
+
+
+def extract_events_frame(join: DatasetJoin, frame: StoreFrame,
+                         metadata: NSSetMetadata, min_domains: int = 5,
+                         baseline_kind: str = "day") -> List[AttackEvent]:
+    """:func:`repro.core.events.extract_events` over a frame —
+    identical events in identical order."""
+    events: List[AttackEvent] = []
+    for classified in join.dns_direct_attacks:
+        attack = classified.attack
+        window = Window(attack.start, attack.end)
+        for nsset_id in classified.nsset_ids:
+            info = metadata.info(nsset_id, attack.start)
+            if info.n_domains < min_domains:
+                continue
+            series = impact_series_frame(
+                frame, nsset_id, window, baseline_kind,
+                min_bucket_n=EVENT_MIN_BUCKET_N)
+            if series.n_measured < min_domains:
+                continue
+            events.append(AttackEvent(attack=attack, info=info,
+                                      series=series))
+    return events

@@ -81,6 +81,12 @@ SERIAL_CRAWL_REASON = (
     "is stateful (burst state, fault log, RNG streams), "
     "so its schedule cannot be sharded across forked "
     "workers")
+#: why a chaos run cannot use the columnar batch path.
+COLUMNAR_CHAOS_REASON = (
+    "chaos runs force the object ingest path: the fault "
+    "injector hooks per-row store ingest "
+    "(wrap_store_ingest), which the columnar batch flush "
+    "would bypass")
 
 
 def _warn_bypass(reason: str, stacklevel: int = 3) -> None:
@@ -124,7 +130,9 @@ def _observe_telescope(ctx: RunContext, world: World) -> RSDoSFeed:
         darknet, world.rngs.stream("telescope"),
         link_util_fn=_link_util_fn(world),
         headroom=ctx.params["config"].headroom)
-    return RSDoSFeed.observe(world.attacks, simulator)
+    return RSDoSFeed.observe(world.attacks, simulator,
+                             columnar=ctx.params.get("columnar", False),
+                             registry=ctx.telemetry.registry)
 
 
 def _run_crawl(ctx: RunContext, world: World) -> MeasurementStore:
@@ -132,7 +140,8 @@ def _run_crawl(ctx: RunContext, world: World) -> MeasurementStore:
     transport = (injector.wrap_transport(world.transport)
                  if injector is not None else None)
     platform = OpenIntelPlatform(world, transport=transport,
-                                 telemetry=ctx.telemetry)
+                                 telemetry=ctx.telemetry,
+                                 columnar=ctx.params.get("columnar", False))
     if injector is not None:
         injector.wrap_store_ingest(platform.store)
     store = platform.run_parallel(ctx.params.get("n_workers", 1),
@@ -169,8 +178,15 @@ def _build_metadata(ctx: RunContext, world: World) -> NSSetMetadata:
 def _extract_events(ctx: RunContext, join: DatasetJoin,
                     store: MeasurementStore,
                     metadata: NSSetMetadata) -> List[AttackEvent]:
-    return extract_events(join, store, metadata,
-                          min_domains=ctx.params["config"].event_min_domains)
+    min_domains = ctx.params["config"].event_min_domains
+    if ctx.params.get("columnar"):
+        from repro.columnar import StoreFrame
+        from repro.columnar.frame import extract_events_frame
+
+        frame = StoreFrame(store, registry=ctx.telemetry.registry)
+        return extract_events_frame(join, frame, metadata,
+                                    min_domains=min_domains)
+    return extract_events(join, store, metadata, min_domains=min_domains)
 
 
 def _publish_store_metrics(ctx: RunContext,
@@ -411,7 +427,8 @@ def run_study(config: Optional[WorldConfig] = None,
               n_workers: int = 1,
               telemetry: Optional[RunTelemetry] = None,
               cache: Optional[Union[str, "ArtifactStore",
-                                    "PhaseCache"]] = None) -> Study:
+                                    "PhaseCache"]] = None,
+              columnar: bool = False) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
 
@@ -459,6 +476,17 @@ def run_study(config: Optional[WorldConfig] = None,
     count (tests assert it). Chaos runs bypass the cache entirely
     (faults must never be cached), as do runs on a pre-built ``world``
     (its build flags cannot be fingerprinted); both warn.
+
+    ``columnar`` routes the three hottest paths — telescope window
+    inference, crawl measurement ingest, and the 5-minute bucket walk
+    of event extraction — through :mod:`repro.columnar` batch columns
+    instead of per-record objects. Output is **bit-identical** to the
+    object path (the goldens assert it end to end, at any worker
+    count, warm or cold cache), so the flag changes wall clock and the
+    ``repro.columnar.*`` metrics, nothing else — it does not enter the
+    cache fingerprint. Chaos runs force the object path (with a
+    warning): the fault injector hooks per-row store ingest, which a
+    batch flush would bypass.
     """
     telemetry = telemetry or NULL_TELEMETRY
     config = world.config if world is not None else (config or WorldConfig())
@@ -469,6 +497,9 @@ def run_study(config: Optional[WorldConfig] = None,
         from repro.chaos.injector import FaultInjector
 
         injector = FaultInjector(chaos, telemetry=telemetry)
+    if columnar and injector is not None:
+        _warn_bypass(COLUMNAR_CHAOS_REASON, stacklevel=2)
+        columnar = False
 
     ctx = RunContext(telemetry=telemetry, params={
         "config": config,
@@ -477,6 +508,7 @@ def run_study(config: Optional[WorldConfig] = None,
         "install_scenarios": install_scenarios,
         "n_workers": n_workers,
         "progress": progress,
+        "columnar": columnar,
     })
     executor = Executor(STUDY_GRAPH, middleware=(
         SpanMiddleware(),

@@ -18,7 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.dns.rcode import ResponseStatus
 from repro.dns.rr import RRType
+from repro.core.metrics import (
+    BASELINE_FALLBACK_DAYS,
+    ImpactPoint,
+    ImpactSeries,
+    compute_baseline_degraded,
+    impact_on_rtt,
+)
+from repro.openintel.storage import MeasurementStore
 from repro.streaming.scheduler import EventScheduler
 from repro.streaming.topic import Broker
 from repro.streaming.processors import FilterProcessor, StreamJob
@@ -212,3 +221,71 @@ class ReactivePlatform:
             self.store.add(probe)
             probes.append(probe)
         return probes
+
+
+# -- §5/§6 impact-path adapter ------------------------------------------------
+
+#: RTT recorded for an unanswered probe. The value itself never reaches
+#: an analysis (non-OK rows only count toward timeout shares) — it just
+#: has to pass the store's ingest validity gate.
+REACTIVE_TIMEOUT_RTT_MS = 5_000.0
+
+
+def measurement_store_from_reactive(store: ReactiveStore, directory,
+                                    timeout_rtt_ms: float =
+                                    REACTIVE_TIMEOUT_RTT_MS
+                                    ) -> MeasurementStore:
+    """Fold reactive probes into a :class:`MeasurementStore`.
+
+    Each probe becomes one dense measurement row of the probed domain's
+    NSSet: answered probes as ``OK`` with their RTT, unanswered ones as
+    ``TIMEOUT``. The result speaks the same aggregate language as the
+    OpenINTEL crawl store, so the §5/§6 impact machinery (5-minute
+    buckets, timeout shares, ``Impact_on_RTT``) applies to reactive
+    data unchanged.
+    """
+    out = MeasurementStore()
+    for probe in store.probes:
+        nsset_id = directory[probe.domain_id].nsset_id
+        if probe.answered:
+            out.add_fast(nsset_id, probe.ts, ResponseStatus.OK,
+                         probe.rtt_ms, True)
+        else:
+            out.add_fast(nsset_id, probe.ts, ResponseStatus.TIMEOUT,
+                         timeout_rtt_ms, True)
+    return out
+
+
+def reactive_impact_series(store: ReactiveStore, directory, nsset_id: int,
+                           window: Window,
+                           baseline_store: MeasurementStore,
+                           baseline_kind: str = "day",
+                           min_bucket_n: int = 1,
+                           baseline_fallback_days: int =
+                           BASELINE_FALLBACK_DAYS) -> ImpactSeries:
+    """The §5 RTT-impact series of a NSSet, measured by reactive probes.
+
+    The reactive platform only probes *during* attacks, so it holds no
+    quiet-day history of its own — the §4.1 baseline comes from
+    ``baseline_store`` (normally the OpenINTEL crawl store of the same
+    study) while the in-window 5-minute buckets come from the probes.
+    Everything downstream of :class:`ImpactSeries` (mean/peak impact,
+    event statistics, Figure 8) then works on reactive data as-is.
+    """
+    probes = measurement_store_from_reactive(store, directory)
+    baseline, fell_back = compute_baseline_degraded(
+        baseline_store, nsset_id, window.start, baseline_kind,
+        baseline_fallback_days)
+    series = ImpactSeries(nsset_id=nsset_id, window=window,
+                          baseline_rtt=baseline, min_bucket_n=min_bucket_n,
+                          degraded=fell_back)
+    for ts, agg in probes.buckets_in(nsset_id, window.start, window.end):
+        if not agg.is_valid:
+            series.n_corrupt += 1
+            series.degraded = True
+            continue
+        series.points.append(ImpactPoint(
+            ts=ts, n=agg.n, ok=agg.ok_n, timeouts=agg.timeout_n,
+            servfails=agg.servfail_n, avg_rtt=agg.avg_rtt,
+            impact=impact_on_rtt(agg.avg_rtt, baseline)))
+    return series

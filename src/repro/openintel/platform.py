@@ -63,7 +63,8 @@ class OpenIntelPlatform:
     def __init__(self, world: World, config: Optional[ResolverConfig] = None,
                  keep_raw: bool = False, dense_oversampling: int = 6,
                  transport=None,
-                 telemetry: Optional[RunTelemetry] = None):
+                 telemetry: Optional[RunTelemetry] = None,
+                 columnar: bool = False):
         if dense_oversampling < 1:
             raise ValueError("dense_oversampling must be >= 1")
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -92,6 +93,17 @@ class OpenIntelPlatform:
         #: (index, count): crawl only every count-th domain starting at
         #: index — the unit of work for the multi-process crawl.
         self.shard: Tuple[int, int] = (0, 1)
+        #: columnar ingest: the hot loop appends measurement rows to a
+        #: :class:`repro.columnar.MeasurementBatch` instead of calling
+        #: ``add_fast`` per row, and the batch is folded into the store
+        #: in one group-by flush. Bit-identical output either way.
+        self.columnar = columnar
+        #: sharded columnar crawls defer the flush: each worker returns
+        #: its raw batch and the parent flushes the concatenation once,
+        #: so every (NSSet, interval) group is summed in a single
+        #: ``fsum`` — the exactness contract of :mod:`repro.columnar`.
+        self._defer_flush = False
+        self._pending_batch = None
         self.raw: List[Measurement] = []
         self._offsets: List[int] = []
         self._domain_seeds: List[int] = []
@@ -161,6 +173,14 @@ class OpenIntelPlatform:
         classes = self._classes
         quiet_rtts = self._quiet_rtts
         store = self.store
+        if self.columnar:
+            from repro.columnar import MeasurementBatch
+
+            batch = MeasurementBatch()
+            add = batch.append
+        else:
+            batch = None
+            add = store.add_fast
         dense_days_of = self.world.dense_days_of
         deadline = self.config.deadline_ms
         keep_raw = self.keep_raw
@@ -198,16 +218,15 @@ class OpenIntelPlatform:
                             rtts = quiet_rtts[nsset_id]
                             base = rtts[int(rng_random() * len(rtts))]
                             rtt = base + rng_expo(0.5)
-                            store.add_fast(nsset_id, ts, ResponseStatus.OK,
-                                           rtt, False)
+                            add(nsset_id, ts, ResponseStatus.OK, rtt, False)
                             if stats is not None:
                                 stats.domain_days += 1
                                 stats.fast_path_days += 1
                                 stats.add_ok(rtt)
                             continue
                         if klass == _DEAD:
-                            store.add_fast(nsset_id, ts, ResponseStatus.TIMEOUT,
-                                           deadline, False)
+                            add(nsset_id, ts, ResponseStatus.TIMEOUT,
+                                deadline, False)
                             if stats is not None:
                                 stats.domain_days += 1
                                 stats.dead_days += 1
@@ -224,8 +243,8 @@ class OpenIntelPlatform:
                         ts_j = day + (offsets[domain_id] + j * stride) % DAY
                         result = resolver.resolve(record.name, RRType.NS,
                                                   ns_ips, ts_j)
-                        store.add_fast(nsset_id, ts_j, result.status,
-                                       result.rtt_ms, dense)
+                        add(nsset_id, ts_j, result.status,
+                            result.rtt_ms, dense)
                         if stats is not None:
                             stats.add_result(result.status, result.rtt_ms)
                         if keep_raw:
@@ -236,6 +255,11 @@ class OpenIntelPlatform:
                                 n_attempts=result.n_attempts))
         finally:
             self.world.set_transport_rng(restore)
+        if batch is not None:
+            if self._defer_flush:
+                self._pending_batch = batch
+            else:
+                batch.flush_into(store, registry=self.telemetry.registry)
         return store
 
     # -- the multi-process crawl ----------------------------------------------
@@ -281,12 +305,24 @@ class OpenIntelPlatform:
             return self.run(start, end, progress)
         global _FORK_PARENT
         jobs = [(shard, n_workers, start, end) for shard in range(n_workers)]
+        merged_batch = None
+        if self.columnar:
+            # Shard batches are concatenated and flushed ONCE, so each
+            # (NSSet, interval) group is a single fsum over all of its
+            # values — per-shard flushes would round each shard's
+            # partial sum separately and break bit-identity.
+            from repro.columnar import MeasurementBatch
+
+            merged_batch = MeasurementBatch()
         _FORK_PARENT = self
         try:
             with multiprocessing.get_context("fork").Pool(n_workers) as pool:
-                for done, (store, raw, stats) in enumerate(
+                for done, (payload, raw, stats) in enumerate(
                         pool.imap(_crawl_shard, jobs), start=1):
-                    self.store.merge(store)
+                    if merged_batch is not None:
+                        merged_batch.extend(payload)
+                    else:
+                        self.store.merge(payload)
                     self.raw.extend(raw)
                     if self.stats is not None and stats is not None:
                         self.stats.merge(stats)
@@ -294,6 +330,9 @@ class OpenIntelPlatform:
                         progress(done, n_workers)
         finally:
             _FORK_PARENT = None
+        if merged_batch is not None:
+            merged_batch.flush_into(self.store,
+                                    registry=self.telemetry.registry)
         if self.keep_raw:
             self.raw.sort(key=lambda m: (m.ts, m.domain_id))
         return self.store
@@ -308,9 +347,13 @@ class OpenIntelPlatform:
 _FORK_PARENT: Optional[OpenIntelPlatform] = None
 
 
-def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement],
+def _crawl_shard(args) -> Tuple[object, List[Measurement],
                                 Optional[CrawlStats]]:
     """Worker entry point: crawl one shard of the domain population.
+
+    Returns the shard's filled :class:`MeasurementStore` — or, on a
+    columnar platform, its unflushed
+    :class:`repro.columnar.MeasurementBatch` — as the first element.
 
     Runs in a child forked from the parent, so ``_FORK_PARENT`` *is*
     the parent's fully-configured platform (same world, resolver
@@ -326,6 +369,12 @@ def _crawl_shard(args) -> Tuple[MeasurementStore, List[Measurement],
     platform.store = MeasurementStore()
     platform.raw = []
     platform.stats = CrawlStats() if platform.stats is not None else None
+    if platform.columnar:
+        # Return the shard's raw batch, unflushed: the parent folds the
+        # concatenation of all shards into its store in one flush.
+        platform._defer_flush = True
+        platform.run(start, end)
+        return platform._pending_batch, platform.raw, platform.stats
     store = platform.run(start, end)
     return store, platform.raw, platform.stats
 
@@ -335,7 +384,7 @@ def run_parallel(config_or_world: Union[World, "WorldConfig"],
                  config: Optional[ResolverConfig] = None,
                  keep_raw: bool = False,
                  dense_oversampling: int = 6,
-                 transport=None) -> MeasurementStore:
+                 transport=None, columnar: bool = False) -> MeasurementStore:
     """Build (or accept) a world, then crawl it with ``n_workers``.
 
     Convenience wrapper over :meth:`OpenIntelPlatform.run_parallel`:
@@ -355,5 +404,5 @@ def run_parallel(config_or_world: Union[World, "WorldConfig"],
         world = build_world(config_or_world)
     platform = OpenIntelPlatform(world, config=config, keep_raw=keep_raw,
                                  dense_oversampling=dense_oversampling,
-                                 transport=transport)
+                                 transport=transport, columnar=columnar)
     return platform.run_parallel(n_workers)

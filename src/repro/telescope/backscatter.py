@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 from repro.attacks.model import Attack
 from repro.net.ip import IPV4_SPACE
 from repro.telescope.darknet import Darknet
+from repro.util.rng import derive_rng
 from repro.util.timeutil import FIVE_MINUTES
 from repro.world.capacity import overload_drop
 
@@ -56,11 +57,21 @@ class BackscatterSimulator:
 
     def __init__(self, darknet: Darknet, rng: random.Random,
                  link_util_fn: Optional[LinkUtilFn] = None,
-                 headroom: float = 0.8):
+                 headroom: float = 0.8,
+                 jitter_seed: Optional[int] = None):
         self.darknet = darknet
         self.rng = rng
         self.link_util_fn = link_util_fn or (lambda ip, ts: 0.0)
         self.headroom = headroom
+        #: root of the per-(victim, window) max_ppm jitter streams. The
+        #: jitter must not ride the shared ``rng``: an inline draw per
+        #: emitted window couples a window's jitter to how many windows
+        #: were processed before it (and to ``Random.gauss``'s cached
+        #: pair), which silently diverges under any batched/reordered
+        #: processing. One draw here keys the whole family to the
+        #: simulator's seed instead.
+        self.jitter_seed = (jitter_seed if jitter_seed is not None
+                            else rng.getrandbits(64))
 
     # -- per-attack observation -------------------------------------------------
 
@@ -104,7 +115,7 @@ class BackscatterSimulator:
                 cum_packets, pool_in_darknet)
             n_slash16 = int(round(self.darknet.expected_unique_slash16(n_packets)))
             ppm = n_packets / max(seconds / 60.0, 1e-9)
-            max_ppm = ppm * (1.0 + abs(self.rng.gauss(0.0, 0.05)))
+            max_ppm = ppm * self.window_jitter(attack.victim_ip, ts)
             observations.append(WindowObservation(
                 window_ts=ts, victim_ip=attack.victim_ip,
                 n_packets=n_packets, max_ppm=max_ppm,
@@ -112,6 +123,17 @@ class BackscatterSimulator:
                 n_unique_sources=int(round(unique_sources)),
                 proto=proto, first_port=first_port, n_ports=max(1, len(ports))))
         return observations
+
+    def window_jitter(self, victim_ip: int, window_ts: int) -> float:
+        """The peak-rate jitter factor of one (victim, window) pair.
+
+        Drawn from a stream derived from ``(jitter_seed, victim_ip,
+        window_ts)``, so it is a pure function of what is being observed
+        — identical whether windows are processed serially, batched, or
+        in any order.
+        """
+        jr = derive_rng(self.jitter_seed, str(victim_ip), str(window_ts))
+        return 1.0 + abs(jr.gauss(0.0, 0.05))
 
     def observe_all(self, attacks: Iterable[Attack]) -> Iterator[WindowObservation]:
         for attack in attacks:

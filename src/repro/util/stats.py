@@ -130,6 +130,9 @@ class Histogram:
     counts: List[int] = field(default_factory=list)
     underflow: int = 0
     overflow: int = 0
+    #: NaN inputs, counted deterministically instead of crashing the
+    #: bin arithmetic (NaN fails every range comparison).
+    nan: int = 0
 
     def __post_init__(self) -> None:
         if self.hi <= self.lo:
@@ -140,10 +143,13 @@ class Histogram:
             self.counts = [0] * self.bins
 
     def add(self, x: float, weight: int = 1) -> None:
-        if x < self.lo:
+        if x != x:  # NaN: outside every bin, tallied on its own
+            self.nan += weight
+            return
+        if x < self.lo:  # -inf lands here
             self.underflow += weight
             return
-        if x >= self.hi:
+        if x >= self.hi:  # +inf lands here
             self.overflow += weight
             return
         idx = int((x - self.lo) / (self.hi - self.lo) * self.bins)
@@ -151,7 +157,7 @@ class Histogram:
 
     @property
     def total(self) -> int:
-        return sum(self.counts) + self.underflow + self.overflow
+        return sum(self.counts) + self.underflow + self.overflow + self.nan
 
     def bin_edges(self) -> List[Tuple[float, float]]:
         width = (self.hi - self.lo) / self.bins

@@ -1,0 +1,231 @@
+"""Unit equivalence tests for :mod:`repro.columnar`.
+
+Every batch routine must be bit-identical to its object counterpart —
+with NumPy (the fast path) and without (the stdlib fallback the no-deps
+CI matrix runs). The ``use_numpy`` fixture parametrizes both.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.columnar import (
+    HAVE_NUMPY,
+    EventFrame,
+    MeasurementBatch,
+    ObservationBatch,
+    StoreFrame,
+    analyze_impact_frame,
+    batchlib,
+    curate_records,
+    impact_series_frame,
+    infer_attacks,
+)
+from repro.dns.rcode import ResponseStatus
+from repro.obs import RunTelemetry
+from repro.openintel.storage import MeasurementStore
+
+STATUSES = list(ResponseStatus)
+
+
+@pytest.fixture(params=["numpy", "stdlib"])
+def use_numpy(request, monkeypatch):
+    """Run the test under both flush implementations."""
+    if request.param == "numpy":
+        if not HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+    else:
+        monkeypatch.setattr(batchlib, "_np", None)
+    return request.param == "numpy"
+
+
+def _random_rows(n, seed=7):
+    rng = random.Random(seed)
+    for _ in range(n):
+        rtt = rng.choice([rng.expovariate(0.01), float("nan"), -1.0, 2e9,
+                          rng.random() * 100])
+        yield (rng.randrange(40), rng.randrange(0, 30 * 86400),
+               rng.choice(STATUSES), rtt, rng.random() < 0.3)
+
+
+class TestMeasurementBatch:
+    def test_flush_matches_add_fast(self, use_numpy):
+        ref = MeasurementStore()
+        batch = MeasurementBatch()
+        for row in _random_rows(5000):
+            ref.add_fast(*row)
+            batch.append(*row)
+        out = MeasurementStore()
+        batch.flush_into(out)
+        assert out == ref
+        assert out.n_measurements == ref.n_measurements
+        assert out.n_rejected == ref.n_rejected
+
+    def test_flush_into_prepopulated_store(self, use_numpy):
+        rows = list(_random_rows(3000, seed=11))
+        ref = MeasurementStore()
+        for row in rows:
+            ref.add_fast(*row)
+        # Fill the first half by rows, flush the second half on top:
+        # existing aggregates take the per-value exact-fold path.
+        out = MeasurementStore()
+        batch = MeasurementBatch()
+        for row in rows[:1500]:
+            out.add_fast(*row)
+        for row in rows[1500:]:
+            batch.append(*row)
+        batch.flush_into(out)
+        assert out == ref
+
+    def test_extend_concatenates_shards(self, use_numpy):
+        rows = list(_random_rows(2000, seed=3))
+        whole = MeasurementBatch()
+        for row in rows:
+            whole.append(*row)
+        merged = MeasurementBatch()
+        for lo in range(0, len(rows), 500):
+            shard = MeasurementBatch()
+            for row in rows[lo:lo + 500]:
+                shard.append(*row)
+            merged.extend(shard)
+        a, b = MeasurementStore(), MeasurementStore()
+        whole.flush_into(a)
+        merged.flush_into(b)
+        assert a == b
+
+    def test_nan_and_out_of_range_rows_rejected(self, use_numpy):
+        batch = MeasurementBatch()
+        batch.append(1, 0, ResponseStatus.OK, float("nan"), True)
+        batch.append(1, 0, ResponseStatus.OK, -0.5, True)
+        batch.append(1, 0, ResponseStatus.OK, 2e9, True)
+        batch.append(1, 0, ResponseStatus.OK, 10.0, True)
+        store = MeasurementStore()
+        batch.flush_into(store)
+        assert store.n_rejected == 3
+        assert store.n_measurements == 1
+
+    def test_exactness_against_shewchuk_partials(self, use_numpy):
+        # Many values whose naive sum differs from the exact one.
+        rng = random.Random(1)
+        values = [rng.random() * 10.0 ** rng.randrange(-8, 9)
+                  for _ in range(4000)]
+        ref = MeasurementStore()
+        batch = MeasurementBatch()
+        for v in values:
+            ref.add_fast(0, 100, ResponseStatus.OK, v, True)
+            batch.append(0, 100, ResponseStatus.OK, v, True)
+        out = MeasurementStore()
+        batch.flush_into(out)
+        key = (0, 0)
+        assert out.buckets[key].rtt_sum == ref.buckets[key].rtt_sum
+        assert out.buckets[key].rtt_sum == math.fsum(values)
+
+    def test_flush_emits_columnar_metrics(self, use_numpy):
+        telemetry = RunTelemetry.create()
+        batch = MeasurementBatch()
+        batch.append(1, 0, ResponseStatus.OK, 10.0, True)
+        batch.append(1, 0, ResponseStatus.OK, float("nan"), True)
+        batch.flush_into(MeasurementStore(), registry=telemetry.registry)
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["repro.columnar.rows{kind=measurement}"] == 2
+        assert counters["repro.columnar.rejected_rows"] == 1
+        assert counters["repro.columnar.batches{kind=measurement}"] == 1
+
+
+def _observations(seed=3, n_attacks=40):
+    from repro.attacks.model import Attack, AttackVector
+    from repro.telescope.backscatter import BackscatterSimulator
+    from repro.telescope.darknet import Darknet
+    from repro.util.timeutil import HOUR, Window
+
+    rng = random.Random(seed)
+    attacks = []
+    for _ in range(n_attacks):
+        start = rng.randrange(0, 20 * 86400)
+        attacks.append(Attack(
+            victim_ip=0x0A000001 + rng.randrange(10),
+            window=Window(start, start + rng.randrange(600, 5 * HOUR)),
+            vectors=[AttackVector.tcp_syn(
+                53, rng.choice([500.0, 5e3, 5e4]))]))
+    sim = BackscatterSimulator(Darknet(), random.Random(1))
+    return list(sim.observe_all(attacks))
+
+
+class TestObservationBatch:
+    def test_infer_matches_object_classifier(self, use_numpy):
+        from repro.telescope.rsdos import RSDoSClassifier
+
+        obs = _observations()
+        batch = ObservationBatch.from_observations(obs)
+        assert infer_attacks(batch) == RSDoSClassifier().infer(obs)
+
+    def test_curation_matches_object_feed(self, use_numpy):
+        from repro.telescope.feed import FeedRecord
+
+        obs = _observations(seed=9)
+        batch = ObservationBatch.from_observations(obs)
+        attacks = infer_attacks(batch)
+        keep = {}
+        for a in attacks:
+            keep.setdefault(a.victim_ip, []).append(a.window)
+        expected = [FeedRecord.from_observation(o) for o in obs
+                    if any(w.contains(o.window_ts)
+                           for w in keep.get(o.victim_ip, ()))]
+        assert curate_records(batch, attacks) == expected
+
+    def test_round_trip_to_observations(self):
+        obs = _observations(seed=5, n_attacks=10)
+        batch = ObservationBatch.from_observations(obs)
+        assert batch.to_observations() == obs
+
+    def test_empty_batch(self, use_numpy):
+        batch = ObservationBatch()
+        assert infer_attacks(batch) == []
+        assert curate_records(batch, []) == []
+
+
+class TestFrames:
+    @pytest.fixture(scope="class")
+    def study(self, tiny_study):
+        return tiny_study
+
+    def test_impact_series_frame_matches_object(self, study):
+        from repro.core.metrics import impact_series
+        from repro.util.timeutil import Window
+
+        frame = StoreFrame(study.store)
+        for classified in study.join.dns_direct_attacks:
+            window = Window(classified.attack.start, classified.attack.end)
+            for nsset_id in classified.nsset_ids:
+                obj = impact_series(study.store, nsset_id, window,
+                                    min_bucket_n=3)
+                col = impact_series_frame(frame, nsset_id, window,
+                                          min_bucket_n=3)
+                assert col.baseline_rtt == obj.baseline_rtt
+                assert col.degraded == obj.degraded
+                assert col.n_corrupt == obj.n_corrupt
+                assert col.points == obj.points
+
+    def test_extract_events_frame_matches_object(self, study):
+        from repro.columnar.frame import extract_events_frame
+
+        frame = StoreFrame(study.store)
+        events = extract_events_frame(study.join, frame, study.metadata)
+        assert events == study.events
+
+    def test_event_frame_scalars_match_properties(self, study):
+        frame = EventFrame(study.events)
+        for event, mean, impact in zip(study.events, frame.mean_impact,
+                                       frame.impact):
+            assert event.series.mean_impact == mean
+            assert event.series.impact == impact
+
+    def test_analyze_impact_frame_matches_object(self, study):
+        from repro.core.impact import analyze_impact
+
+        obj = analyze_impact(study.events)
+        col = analyze_impact_frame(EventFrame(study.events))
+        for attr in ("n_events", "n_with_impact", "over_10x", "over_100x",
+                     "grid", "peak_by_size", "mean_by_size"):
+            assert getattr(col, attr) == getattr(obj, attr)

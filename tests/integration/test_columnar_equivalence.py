@@ -1,0 +1,89 @@
+"""Columnar-path equivalence: the batch refactor's acceptance bar.
+
+``run_study(columnar=True)`` routes the telescope inference, the crawl
+ingest, and the event extraction through :mod:`repro.columnar` batch
+columns. Its output must be **bit-identical** to the object path — the
+same pre-refactor goldens the engine suite asserts — for a clean run,
+1/2/4 workers, and warm/cold cache. Chaos runs must force the object
+path (the injector hooks per-row store ingest) with a
+:class:`RuntimeWarning` and still match the chaos goldens.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro import ChaosConfig, WorldConfig, run_study
+from repro.core.pipeline import COLUMNAR_CHAOS_REASON
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+CHAOS_SEEDS = [1, 2, 3]  # the e2e chaos fixture seeds
+
+
+def golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name)) as fp:
+        return fp.read()
+
+
+@pytest.fixture(scope="module")
+def clean_report() -> str:
+    return golden("report_tiny_clean.txt")
+
+
+class TestColumnarCleanEquivalence:
+    def test_columnar_run_matches_golden(self, clean_report):
+        study = run_study(WorldConfig.tiny(), columnar=True)
+        assert study.report() == clean_report
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_columnar_worker_counts_match_golden(self, clean_report,
+                                                 n_workers):
+        study = run_study(WorldConfig.tiny(), columnar=True,
+                          n_workers=n_workers)
+        assert study.report() == clean_report
+
+    def test_columnar_store_equals_object_store(self):
+        obj = run_study(WorldConfig.tiny())
+        col = run_study(WorldConfig.tiny(), columnar=True)
+        # Bit-identity of the full dataset surface, not just the report.
+        assert col.store == obj.store
+        assert col.feed.attacks == obj.feed.attacks
+        assert col.feed.records == obj.feed.records
+        assert col.events == obj.events
+
+
+class TestColumnarWarmCacheEquivalence:
+    def test_cold_columnar_then_warm_object_match(self, tmp_path,
+                                                  clean_report):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_study(WorldConfig.tiny(), columnar=True, cache=cache_dir)
+        assert cold.report() == clean_report
+        # The flag does not enter the fingerprint: a warm object run
+        # reads the columnar run's artifacts, and vice versa.
+        warm = run_study(WorldConfig.tiny(), cache=cache_dir)
+        assert warm.report() == clean_report
+        assert warm.store == cold.store
+        assert warm.events == cold.events
+
+    def test_cold_object_then_warm_columnar_match(self, tmp_path,
+                                                  clean_report):
+        cache_dir = str(tmp_path / "cache")
+        run_study(WorldConfig.tiny(), cache=cache_dir)
+        warm = run_study(WorldConfig.tiny(), columnar=True, cache=cache_dir,
+                         n_workers=2)
+        assert warm.report() == clean_report
+
+
+class TestColumnarChaosGate:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_chaos_forces_object_path_and_matches_golden(self, seed):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            study = run_study(
+                WorldConfig.tiny(), columnar=True,
+                chaos=ChaosConfig.preset("moderate", seed=seed))
+        reasons = [str(w.message) for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert COLUMNAR_CHAOS_REASON in reasons
+        assert study.report() == golden(f"report_tiny_chaos_seed{seed}.txt")

@@ -96,6 +96,50 @@ class TestBackscatterObservation:
             make_simulator().materialize_packets(visible_attack(pps=1e7))
 
 
+class TestJitterOrderInvariance:
+    """max_ppm jitter must be a pure function of (victim, window).
+
+    Regression for an RNG-order coupling: the jitter used to be drawn
+    inline from the shared stream per emitted window, so a window's
+    jitter depended on how many windows were processed before it —
+    serial and batched/reordered processing silently diverged.
+    """
+
+    def _jitter_factors(self, sim, attacks):
+        return {(o.victim_ip, o.window_ts):
+                o.max_ppm / (o.n_packets / 5.0)
+                for a in attacks for o in sim.observe_attack(a)
+                if o.n_packets}
+
+    def test_serial_equals_batched_draws(self):
+        other = Attack(victim_ip=VICTIM + 7, window=Window(0, 1800),
+                       vectors=[AttackVector.tcp_syn(PORT_DNS, 5000.0)])
+        attacks = [visible_attack(duration=1800), other]
+        serial = make_simulator(seed=9)
+        batched = BackscatterSimulator(
+            Darknet(), random.Random(123),  # different shared-rng state
+            jitter_seed=serial.jitter_seed)
+        # Batched path processes the attacks in reverse order with a
+        # differently-positioned shared stream; every (victim, window)
+        # jitter factor must still match the serial draws exactly.
+        want = self._jitter_factors(serial, attacks)
+        got = self._jitter_factors(batched, list(reversed(attacks)))
+        assert set(want) == set(got)
+        for key in want:
+            assert want[key] == got[key]
+
+    def test_jitter_independent_of_shared_stream_position(self):
+        a = make_simulator(seed=4)
+        b = make_simulator(seed=4)
+        b.rng.random()  # burn a draw: shared stream now out of phase
+        assert a.window_jitter(VICTIM, 600) == b.window_jitter(VICTIM, 600)
+
+    def test_jitter_varies_across_windows_and_victims(self):
+        sim = make_simulator(seed=4)
+        assert sim.window_jitter(VICTIM, 0) != sim.window_jitter(VICTIM, 300)
+        assert sim.window_jitter(VICTIM, 0) != sim.window_jitter(VICTIM + 1, 0)
+
+
 class TestRSDoSClassifier:
     def _observe(self, attacks, seed=1):
         return list(make_simulator(seed).observe_all(attacks))

@@ -173,6 +173,32 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram(10, 0, 5)
 
+    def test_nan_counted_not_binned(self):
+        hist = Histogram(0, 10, 5)
+        hist.add(float("nan"))
+        hist.add(float("nan"), weight=3)
+        assert hist.nan == 4
+        assert hist.underflow == 0 and hist.overflow == 0
+        assert all(c == 0 for c in hist.counts)
+        assert hist.total == 4
+
+    def test_infinities_are_under_overflow(self):
+        hist = Histogram(0, 10, 5)
+        hist.add(float("inf"))
+        hist.add(float("-inf"))
+        assert hist.overflow == 1
+        assert hist.underflow == 1
+        assert hist.nan == 0
+        assert hist.total == 2
+
+    @given(st.lists(st.floats(allow_nan=True, allow_infinity=True),
+                    max_size=100))
+    def test_total_conserved_with_nonfinite(self, values):
+        hist = Histogram(0, 10, 5)
+        for v in values:
+            hist.add(v)
+        assert hist.total == len(values)
+
     def test_modes(self):
         hist = Histogram(0, 10, 10)
         for _ in range(5):
