@@ -7,10 +7,12 @@ and to ``benchmarks/out/<name>.txt`` so the results survive pytest's
 output capture.
 
 Benchmarks with numeric results additionally dump them machine-readable
-via ``emit_json`` as ``BENCH_<name>.json`` in the ``repro.obs/v1``
+via ``emit_json`` as ``BENCH_<name>.json`` in the ``repro.obs/v2``
 telemetry snapshot schema (each value a ``repro.bench.<name>.<key>``
-gauge), so a perf trajectory accumulates across runs in one parseable
-format. Unlike the rendered ``.txt`` files (scratch output under the
+gauge; older baselines on disk are v1, and every reader accepts both),
+so a perf trajectory accumulates across runs in one parseable format —
+``python -m repro obs bench-diff`` compares a fresh batch against the
+tracked baselines direction-aware. Unlike the rendered ``.txt`` files (scratch output under the
 gitignored ``benchmarks/out/``), the JSON snapshots land in the
 **tracked** ``benchmarks/baselines/`` directory — the perf trajectory
 is only a trajectory if the snapshots actually reach version control —
@@ -88,8 +90,8 @@ def emit_json():
 
     ``values`` is a flat mapping of result keys to numbers; each becomes
     a ``repro.bench.<name>.<key>`` gauge and the file is a full
-    ``repro.obs/v1`` snapshot, parseable by the same tooling that reads
-    ``--metrics-out`` files. Snapshots go to :data:`JSON_OUT_DIR` — the
+    ``repro.obs/v2`` snapshot, parseable by the same tooling that reads
+    ``--metrics-out`` files (``repro obs summary`` / ``bench-diff``). Snapshots go to :data:`JSON_OUT_DIR` — the
     tracked ``benchmarks/baselines/`` unless ``REPRO_BENCH_OUT``
     redirects them (e.g. to a CI artifact directory).
     """

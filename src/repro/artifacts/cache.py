@@ -71,17 +71,22 @@ class PhaseCache:
         registered serializer.
         """
         loads = loads or PHASE_SERIALIZERS[phase][1]
+        journal = self.telemetry.journal
         data = self.store.get(key)
         if data is None:
             self._count("misses", phase)
+            journal.emit("cache.miss", phase=phase, key=key)
             return None
         try:
             artifact = loads(data)
         except Exception:
             self._count("misses", phase)
+            journal.emit("cache.miss", phase=phase, key=key,
+                         corrupt=True)
             return None
         self._count("hits", phase)
         self._count("bytes_read", phase, len(data))
+        journal.emit("cache.hit", phase=phase, key=key, bytes=len(data))
         return artifact
 
     def save(self, phase: str, key: str, artifact: object,
@@ -93,7 +98,11 @@ class PhaseCache:
             data = dumps(artifact)
         except ValueError:
             self._count("skipped", phase)
+            self.telemetry.journal.emit("cache.skipped", phase=phase,
+                                        key=key)
             return False
         self.store.put(key, data, phase=phase)
         self._count("bytes_written", phase, len(data))
+        self.telemetry.journal.emit("cache.save", phase=phase, key=key,
+                                    bytes=len(data))
         return True

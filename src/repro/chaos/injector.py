@@ -123,6 +123,8 @@ class FaultInjector:
         self.events.append(FaultEvent(surface, kind, detail))
         self.telemetry.registry.counter("repro.chaos.faults",
                                         surface=surface, kind=kind).inc()
+        self.telemetry.journal.emit("chaos.fault", surface=surface,
+                                    kind=kind, detail=detail)
         return True
 
     @property

@@ -20,7 +20,15 @@ Subcommands:
 ``graph``
     Print the declared phase DAG (:mod:`repro.engine`) — every
     pipeline phase and lazy analysis with its inputs — as text or,
-    with ``--dot``, in Graphviz DOT form.
+    with ``--dot``, in Graphviz DOT form; ``--from-journal PATH``
+    annotates the DOT nodes with last-run phase durations taken from a
+    run journal.
+``obs``
+    The observability toolbox (:mod:`repro.obs.cli`): ``summary`` and
+    ``tail`` digest a run journal or telemetry snapshot, ``diff``
+    compares two snapshots, ``bench-diff`` compares fresh
+    ``BENCH_*.json`` benchmark results against the committed
+    baselines and flags regressions.
 ``reactive``
     Drive the production-rate reactive platform
     (:mod:`repro.reactive`) over a synthetic trigger storm: admission
@@ -30,9 +38,11 @@ Subcommands:
     restore counts go to stderr.
 
 Every subcommand accepts ``--trace`` (print the phase-timing tree to
-stderr afterwards) and ``--metrics-out PATH`` (write the run's
-``repro.obs/v1`` telemetry snapshot as JSON). Both only observe: stdout
-is byte-identical with or without them.
+stderr afterwards), ``--metrics-out PATH`` (write the run's
+``repro.obs/v2`` telemetry snapshot as JSON), ``--journal PATH``
+(append the structured run journal, JSONL) and ``--profile``
+(per-phase CPU/RSS/allocation gauges). All of them only observe:
+stdout is byte-identical with or without them.
 
 Every study-running subcommand also accepts ``--cache-dir PATH``: phase
 outputs (telescope feed, crawl store, join, events) are cached there by
@@ -98,15 +108,40 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "command; outputs are unchanged")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the run's telemetry snapshot "
-                             "(repro.obs/v1 JSON: metrics + spans) to "
+                             "(repro.obs/v2 JSON: metrics + spans) to "
                              "PATH")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write the structured run journal (JSONL: "
+                             "phases, cache traffic, faults, worker "
+                             "lifecycle) to PATH; stdout is unchanged")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-phase CPU, peak-RSS and "
+                             "allocation gauges (repro.profile.*); "
+                             "outputs are unchanged")
 
 
 def _telemetry_from(args: argparse.Namespace) -> RunTelemetry:
     """An enabled bundle when any telemetry flag is set, else the no-op
-    one (whose clock is still real, so wall-time prints keep working)."""
-    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
-        return RunTelemetry.create()
+    one (whose clock is still real, so wall-time prints keep working).
+
+    ``--journal`` opens the journal here — attached to the bundle
+    rather than handed to ``run_study`` to own — so commands that keep
+    observing after the pipeline returns (lazy report analyses, the
+    reactive drain) land in the same file; :func:`_emit_telemetry`
+    closes it.
+    """
+    if (getattr(args, "trace", False) or getattr(args, "metrics_out", None)
+            or getattr(args, "journal", None)
+            or getattr(args, "profile", False)):
+        telemetry = RunTelemetry.create()
+        path = getattr(args, "journal", None)
+        if path:
+            from repro.obs import RunJournal
+
+            telemetry.attach_journal(RunJournal(
+                path, run_id=telemetry.run_id, clock=telemetry.clock,
+                started_at_utc=telemetry.started_at_utc))
+        return telemetry
     return NULL_TELEMETRY
 
 
@@ -125,6 +160,10 @@ def _emit_telemetry(args: argparse.Namespace,
     if path:
         telemetry.write_json(path)
         print(f"telemetry snapshot written to {path}", file=sys.stderr)
+    journal = telemetry.journal
+    if journal.enabled:
+        journal.close()
+        print(f"run journal written to {journal.path}", file=sys.stderr)
 
 
 def _config_from(args: argparse.Namespace) -> WorldConfig:
@@ -159,7 +198,10 @@ def _run(args: argparse.Namespace):
     study = run_study(config, chaos=chaos, n_workers=workers,
                       telemetry=telemetry,
                       cache=getattr(args, "cache_dir", None),
-                      columnar=getattr(args, "columnar", False))
+                      columnar=getattr(args, "columnar", False),
+                      journal=(telemetry.journal
+                               if telemetry.journal.enabled else None),
+                      profile=getattr(args, "profile", False))
     print(f"done in {clock.now() - t0:.1f}s", file=sys.stderr)
     if study.chaos is not None:
         print(study.chaos.summary(), file=sys.stderr)
@@ -274,7 +316,13 @@ def cmd_graph(args: argparse.Namespace) -> int:
     from repro.core.pipeline import study_graph
 
     graph = study_graph(analyses=not args.no_analyses)
-    print(graph.to_dot() if args.dot else graph.render_text())
+    durations = None
+    if args.from_journal:
+        from repro.obs.journal import phase_durations
+
+        durations = phase_durations(args.from_journal)
+    print(graph.to_dot(durations=durations) if args.dot
+          else graph.render_text())
     return 0
 
 
@@ -440,7 +488,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.add_argument("--no-analyses", action="store_true",
                          help="pipeline phases only, without the lazy "
                               "analysis.* nodes")
+    p_graph.add_argument("--from-journal", metavar="PATH", default=None,
+                         dest="from_journal",
+                         help="annotate --dot nodes with last-run phase "
+                              "durations read from a run journal")
     p_graph.set_defaults(func=cmd_graph)
+
+    from repro.obs.cli import add_obs_parser
+
+    add_obs_parser(sub)
 
     return parser
 

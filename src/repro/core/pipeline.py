@@ -46,15 +46,17 @@ from repro.datasets.openresolvers import OpenResolverScan
 from repro.engine import (
     CacheMiddleware,
     Executor,
+    JournalMiddleware,
     Phase,
     PhaseGraph,
+    ProfileMiddleware,
     RunContext,
     SpanMiddleware,
     WorkerPolicy,
     analysis_graph,
     cached_analysis,
 )
-from repro.obs import NULL_TELEMETRY, RunTelemetry
+from repro.obs import NULL_TELEMETRY, RunJournal, RunTelemetry
 from repro.openintel.platform import OpenIntelPlatform
 from repro.openintel.storage import MeasurementStore
 from repro.telescope.backscatter import BackscatterSimulator
@@ -428,7 +430,9 @@ def run_study(config: Optional[WorldConfig] = None,
               telemetry: Optional[RunTelemetry] = None,
               cache: Optional[Union[str, "ArtifactStore",
                                     "PhaseCache"]] = None,
-              columnar: bool = False) -> Study:
+              columnar: bool = False,
+              journal: Optional[Union[str, RunJournal]] = None,
+              profile: bool = False) -> Study:
     """Run the full pipeline: world -> telescope + OpenINTEL -> join ->
     events. Pass a pre-built ``world`` to reuse one across analyses.
 
@@ -487,8 +491,28 @@ def run_study(config: Optional[WorldConfig] = None,
     cache fingerprint. Chaos runs force the object path (with a
     warning): the fault injector hooks per-row store ingest, which a
     batch flush would bypass.
+
+    ``journal`` writes the run's append-only JSONL event log (see
+    :mod:`repro.obs.journal`): a path opens (and closes) a fresh
+    :class:`~repro.obs.RunJournal` for this run; an already-open
+    journal is attached as-is and left open, so the caller's later
+    lazy-analysis accesses keep journaling. ``profile`` turns on
+    per-phase resource profiling (:mod:`repro.obs.profile`), published
+    as ``repro.profile.*`` gauges. Either flag upgrades a default no-op
+    telemetry to an enabled bundle; both observe only — stdout and
+    every study output stay byte-identical (asserted in tests and CI).
     """
     telemetry = telemetry or NULL_TELEMETRY
+    if (journal is not None or profile) and telemetry is NULL_TELEMETRY:
+        telemetry = RunTelemetry.create()
+    owns_journal = False
+    if journal is not None:
+        if isinstance(journal, str):
+            journal = RunJournal(journal, run_id=telemetry.run_id,
+                                 clock=telemetry.clock,
+                                 started_at_utc=telemetry.started_at_utc)
+            owns_journal = True
+        telemetry.attach_journal(journal)
     config = world.config if world is not None else (config or WorldConfig())
     phase_cache, keys = _open_phase_cache(cache, config, world, chaos,
                                           install_scenarios, telemetry)
@@ -510,19 +534,47 @@ def run_study(config: Optional[WorldConfig] = None,
         "progress": progress,
         "columnar": columnar,
     })
-    executor = Executor(STUDY_GRAPH, middleware=(
-        SpanMiddleware(),
+    profiler = None
+    if profile:
+        from repro.obs.profile import PhaseProfiler
+
+        profiler = PhaseProfiler(telemetry.registry)
+    middleware = [SpanMiddleware(), JournalMiddleware()]
+    if profiler is not None:
+        middleware.append(ProfileMiddleware(profiler))
+    middleware += [
         CacheMiddleware(phase_cache, keys),
         WorkerPolicy(
             serial=injector is not None and injector.forces_serial_crawl,
-            warn=lambda: _warn_bypass(SERIAL_CRAWL_REASON, stacklevel=7)),
-    ))
-    values = executor.run(ctx, root_span="study",
-                          root_meta={"seed": config.seed,
-                                     "n_domains": config.n_domains})
-    return Study(config=config, world=values["world"], feed=values["feed"],
-                 store=values["store"],
-                 open_resolvers=values["open_resolvers"],
-                 join=values["join"], metadata=values["metadata"],
-                 events=values["events"], chaos=injector,
-                 telemetry=telemetry)
+            warn=lambda: _warn_bypass(SERIAL_CRAWL_REASON, stacklevel=9)),
+    ]
+    executor = Executor(STUDY_GRAPH, middleware=middleware)
+    jnl = telemetry.journal
+    jnl.emit("run.start", run_id=telemetry.run_id, seed=config.seed,
+             n_domains=config.n_domains, n_workers=n_workers,
+             chaos=injector is not None, columnar=columnar,
+             cached=phase_cache is not None, profiled=profile)
+    try:
+        values = executor.run(ctx, root_span="study",
+                              root_meta={"seed": config.seed,
+                                         "n_domains": config.n_domains})
+        study = Study(config=config, world=values["world"],
+                      feed=values["feed"], store=values["store"],
+                      open_resolvers=values["open_resolvers"],
+                      join=values["join"], metadata=values["metadata"],
+                      events=values["events"], chaos=injector,
+                      telemetry=telemetry)
+        if jnl.enabled:
+            if study.degraded:
+                jnl.emit("degraded",
+                         join_rejected=len(study.join.rejected),
+                         store_rejected=study.store.n_rejected,
+                         degraded_events=len(study.degraded_events))
+            jnl.emit("run.finish", degraded=study.degraded,
+                     faults=len(injector.events) if injector else 0)
+        return study
+    finally:
+        if profiler is not None:
+            profiler.close()
+        if owns_journal:
+            journal.close()

@@ -11,10 +11,11 @@ This package expresses that dataflow as data rather than procedure:
   detection (the cycle is named), unknown-input errors, duplicate
   outputs — and fixes a deterministic topological order;
 - :class:`Executor` runs the graph through one middleware chain
-  (:class:`SpanMiddleware`, :class:`CacheMiddleware`,
-  :class:`WorkerPolicy`), so telemetry spans, cache fetch/save, and
-  worker policy are applied uniformly to every node instead of being
-  copy-pasted per phase.
+  (:class:`SpanMiddleware`, :class:`JournalMiddleware`,
+  :class:`ProfileMiddleware`, :class:`CacheMiddleware`,
+  :class:`WorkerPolicy`), so telemetry spans, journal records,
+  opt-in profiling, cache fetch/save, and worker policy are applied
+  uniformly to every node instead of being copy-pasted per phase.
 
 ``run_study`` (:mod:`repro.core.pipeline`) is a thin facade over the
 study graph built from these pieces, and the :class:`~repro.core
@@ -26,7 +27,9 @@ from repro.engine.analysis import analyses_of, analysis_graph, cached_analysis
 from repro.engine.executor import (
     CacheMiddleware,
     Executor,
+    JournalMiddleware,
     Middleware,
+    ProfileMiddleware,
     RunContext,
     SpanMiddleware,
     WorkerPolicy,
@@ -50,6 +53,8 @@ __all__ = [
     "RunContext",
     "Middleware",
     "SpanMiddleware",
+    "JournalMiddleware",
+    "ProfileMiddleware",
     "CacheMiddleware",
     "WorkerPolicy",
     "Executor",

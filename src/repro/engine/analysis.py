@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.engine.executor import Executor, RunContext, SpanMiddleware
+from repro.engine.executor import (Executor, JournalMiddleware, RunContext,
+                                   SpanMiddleware)
 from repro.engine.graph import PhaseGraph
 from repro.engine.phase import Phase
 
@@ -84,7 +85,8 @@ class cached_analysis:
         """Execute just this node (its deps are owner attributes)."""
         graph = analysis_graph(type(obj))
         ctx = RunContext(telemetry=obj.telemetry, params={"subject": obj})
-        executor = Executor(graph, middleware=(SpanMiddleware(),))
+        executor = Executor(graph, middleware=(SpanMiddleware(),
+                                               JournalMiddleware()))
         values = executor.run(
             ctx, targets=[self.phase_name],
             sources={slot: getattr(obj, slot) for slot in self.deps})

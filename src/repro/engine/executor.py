@@ -4,10 +4,13 @@ The :class:`Executor` walks a :class:`~repro.engine.graph.PhaseGraph`
 in its deterministic order and pushes each enabled phase through a
 middleware onion::
 
-    SpanMiddleware( CacheMiddleware( WorkerPolicy( compute ) ) )
+    SpanMiddleware( JournalMiddleware( [ProfileMiddleware(]
+        CacheMiddleware( WorkerPolicy( compute ) ) [)] ) )
 
 so cross-cutting concerns — the telemetry span with its annotations,
-cache fetch/save, the worker-count policy — are written once here
+the run-journal records, opt-in resource profiling (only present in
+the chain when requested), cache fetch/save, the worker-count policy
+— are written once here
 instead of being re-interleaved inline at every phase the way the
 pipeline used to. A disabled phase (``Phase.enabled`` false) skips the
 chain entirely and fills its slot via ``Phase.fallback``, untraced and
@@ -26,8 +29,8 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 from repro.engine.graph import PhaseGraph
 from repro.engine.phase import Phase
 
-__all__ = ["RunContext", "Middleware", "SpanMiddleware", "CacheMiddleware",
-           "WorkerPolicy", "Executor"]
+__all__ = ["RunContext", "Middleware", "SpanMiddleware", "JournalMiddleware",
+           "ProfileMiddleware", "CacheMiddleware", "WorkerPolicy", "Executor"]
 
 
 class _NoSpan:
@@ -99,6 +102,59 @@ class SpanMiddleware(Middleware):
             finally:
                 ctx.span = previous
         return result
+
+
+class JournalMiddleware(Middleware):
+    """Emits ``phase.start`` / ``phase.finish`` journal records.
+
+    Reads the journal off ``ctx.telemetry.journal`` (the default
+    :data:`~repro.obs.journal.NULL_JOURNAL` short-circuits to a
+    pass-through), so the same middleware instance serves journaled and
+    unjournaled runs. ``phase.finish`` carries the wall duration (from
+    the telemetry clock) and whether the phase was satisfied from the
+    cache; a raising phase gets ``phase.error`` instead, with the
+    exception type, so the journal's last record names what killed the
+    run. Untraced phases are skipped, keeping the journal's phase set
+    identical to the span tree's.
+    """
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        journal = ctx.telemetry.journal
+        if not journal.enabled or not phase.traced:
+            return call_next(phase, ctx)
+        clock = ctx.telemetry.clock
+        journal.emit("phase.start", phase=phase.name)
+        started = clock.now()
+        try:
+            result = call_next(phase, ctx)
+        except BaseException as exc:
+            journal.emit("phase.error", phase=phase.name,
+                         duration_s=round(clock.now() - started, 6),
+                         error=type(exc).__name__)
+            raise
+        journal.emit("phase.finish", phase=phase.name,
+                     duration_s=round(clock.now() - started, 6),
+                     cached=phase.name in ctx.cached_phases)
+        return result
+
+
+class ProfileMiddleware(Middleware):
+    """Wraps traced phases in a
+    :class:`~repro.obs.profile.PhaseProfiler` measurement.
+
+    Only ever inserted into a chain when profiling was requested —
+    ``run_study`` builds the chain without it otherwise, which is what
+    makes the disabled cost exactly zero rather than merely small.
+    """
+
+    def __init__(self, profiler):
+        self.profiler = profiler
+
+    def run(self, phase: Phase, ctx: RunContext, call_next: Callable):
+        if not phase.traced:
+            return call_next(phase, ctx)
+        with self.profiler.measure(phase.name):
+            return call_next(phase, ctx)
 
 
 class CacheMiddleware(Middleware):

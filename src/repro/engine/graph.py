@@ -19,7 +19,7 @@ keeps span trees, cache traffic, and chaos fault logs reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.phase import Phase
 
@@ -183,14 +183,27 @@ class PhaseGraph:
                 lines.append(f"  {'':<24}    {phase.doc}")
         return "\n".join(lines)
 
-    def to_dot(self) -> str:
+    def to_dot(self, durations: Optional[Mapping[str, float]] = None) -> str:
         """The DAG in Graphviz DOT form (one node per phase; dashed
-        edges come from declared sources)."""
+        edges come from declared sources).
+
+        ``durations`` maps phase names to last-run wall seconds (from a
+        run journal's ``phase.finish`` records — see
+        :func:`repro.obs.journal.phase_durations`); annotated nodes get
+        the duration as a second label line, turning the DAG render
+        into a poor-man's trace view (``repro graph --dot
+        --from-journal run.jsonl``).
+        """
         lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
         for source in self.sources:
             lines.append(f'  "{source}" [shape=plaintext];')
         for phase in self.order:
             shape = "box" if phase.cache_key else "ellipse"
+            if durations is not None and phase.name in durations:
+                label = f'{phase.name}\\n{durations[phase.name]:.3f}s'
+                lines.append(
+                    f'  "{phase.name}" [shape={shape} label="{label}"];')
+                continue
             lines.append(f'  "{phase.name}" [shape={shape}];')
         for producer, consumer, slot in self.edges():
             style = (" [style=dashed]" if producer not in self.by_name

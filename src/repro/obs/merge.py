@@ -1,0 +1,148 @@
+"""Cross-process telemetry capture and deterministic merge.
+
+``run_parallel`` forks crawl workers; the reactive service restores
+killed workers. Before this module, those child/incarnation contexts
+were telemetry black holes — the parent trace showed one ``crawl`` span
+covering N invisible shards. Now each worker context serializes its
+span tree and registry into a **capture** (a plain JSON-serializable
+dict that survives a ``multiprocessing`` pipe), and the parent stitches
+every capture under its own trace:
+
+* child span trees are grafted under the parent's currently-open span
+  (the ``crawl`` phase span, when merging shard results) with the
+  caller's labels — ``shard=2`` — added to the subtree root's meta;
+* child metrics are folded into the parent registry with the same
+  labels added to every series, so a shard's ``repro.crawl.rows``
+  becomes ``repro.crawl.rows{shard=2}`` — *alongside*, never replacing,
+  the unlabeled merged totals the parent publishes from its
+  worker-count-invariant :class:`~repro.openintel.stats.CrawlStats`.
+
+The merge is deterministic: captures are folded in the order the caller
+presents them (``run_parallel`` iterates shards in index order), and a
+capture's own spans/metrics are already deterministically ordered.
+Forked workers inherit the parent's ``CLOCK_MONOTONIC`` domain on every
+platform we fork on, so grafted span ``start`` offsets line up with the
+parent's without rebasing; each capture still carries its own
+``started_at_utc`` / ``anchor_monotonic`` pair for consumers that want
+to check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span
+
+__all__ = [
+    "CAPTURE_SCHEMA",
+    "capture_telemetry",
+    "merge_capture",
+    "dump_metrics",
+    "load_metrics",
+    "span_from_dict",
+]
+
+#: Version tag stamped into every capture dict.
+CAPTURE_SCHEMA = "repro.obs.capture/v1"
+
+
+def capture_telemetry(telemetry) -> Dict[str, object]:
+    """Serialize a telemetry bundle for shipping across a process pipe.
+
+    Unlike :meth:`RunTelemetry.snapshot` (a flat exposition format),
+    a capture keeps metrics structured — name, label pairs, and raw
+    histogram state — so :func:`merge_capture` can fold them into
+    another registry with extra labels attached.
+    """
+    return {
+        "schema": CAPTURE_SCHEMA,
+        "run_id": telemetry.run_id,
+        "started_at_utc": telemetry.started_at_utc,
+        "anchor_monotonic": telemetry.anchor_monotonic,
+        "spans": telemetry.tracer.snapshot(),
+        "metrics": dump_metrics(telemetry.registry),
+    }
+
+
+def merge_capture(telemetry, capture: Dict[str, object], **labels) -> None:
+    """Stitch a worker's capture into the parent telemetry.
+
+    ``labels`` (e.g. ``shard=2`` or ``incarnation=1``) are annotated on
+    each grafted root span and added to every merged metric series.
+    Spans attach under the parent tracer's currently-open span, or as
+    new roots when none is open.
+    """
+    for span_dict in capture.get("spans", ()):  # type: ignore[union-attr]
+        span = span_from_dict(span_dict, extra_meta=labels)
+        telemetry.tracer.graft(span)
+    load_metrics(telemetry.registry,
+                 capture.get("metrics", {}), **labels)
+
+
+def span_from_dict(data: Dict[str, object],
+                   extra_meta: Optional[Dict[str, object]] = None) -> Span:
+    """Rebuild a :class:`Span` subtree from its ``to_dict`` form.
+
+    ``extra_meta`` is applied to the subtree root only — a shard label
+    on the root is enough to attribute the whole subtree.
+    """
+    start = float(data.get("start", 0.0))  # type: ignore[arg-type]
+    span = Span(str(data["name"]), start)
+    duration = data.get("duration_s")
+    if duration is not None:
+        span.end = start + float(duration)  # type: ignore[arg-type]
+    meta = data.get("meta")
+    if meta:
+        span.meta.update(meta)  # type: ignore[arg-type]
+    if extra_meta:
+        span.meta.update(extra_meta)
+    for child in data.get("children", ()):  # type: ignore[union-attr]
+        span.children.append(span_from_dict(child))
+    return span
+
+
+def dump_metrics(registry: MetricsRegistry) -> Dict[str, List[Dict[str, object]]]:
+    """A registry's full state as structured, JSON-serializable rows."""
+    return {
+        "counters": [
+            {"name": c.name, "labels": [list(kv) for kv in c.labels],
+             "value": c.value}
+            for _, c in sorted(registry._counters.items())],
+        "gauges": [
+            {"name": g.name, "labels": [list(kv) for kv in g.labels],
+             "value": g.value}
+            for _, g in sorted(registry._gauges.items())],
+        "histograms": [
+            {"name": h.name, "labels": [list(kv) for kv in h.labels],
+             "bounds": list(h.bounds), "counts": list(h.bucket_counts),
+             "sum": h.sum, "nan": h.nan}
+            for _, h in sorted(registry._histograms.items())],
+    }
+
+
+def load_metrics(registry: MetricsRegistry,
+                 dump: Dict[str, List[Dict[str, object]]], **extra) -> None:
+    """Fold a :func:`dump_metrics` dict into ``registry``.
+
+    ``extra`` labels are added to every series (overriding a same-named
+    label from the dump — the merger's attribution wins).
+    """
+    def _labels(row: Dict[str, object]) -> Dict[str, object]:
+        labels = {k: v for k, v in row.get("labels", ())}  # type: ignore[misc]
+        labels.update(extra)
+        return labels
+
+    for row in dump.get("counters", ()):
+        value = int(row["value"])  # type: ignore[arg-type]
+        if value:
+            registry.counter(str(row["name"]), **_labels(row)).inc(value)
+    for row in dump.get("gauges", ()):
+        registry.gauge(str(row["name"]),
+                       **_labels(row)).set(row["value"])  # type: ignore[arg-type]
+    for row in dump.get("histograms", ()):
+        hist = registry.histogram(str(row["name"]),
+                                  buckets=row["bounds"],  # type: ignore[arg-type]
+                                  **_labels(row))
+        hist.add_counts(row["counts"], row["sum"],  # type: ignore[arg-type]
+                        nan=int(row.get("nan", 0)))  # type: ignore[arg-type]

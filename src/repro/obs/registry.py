@@ -9,7 +9,7 @@ kind="drop")``); histograms use fixed, explicit bucket bounds with
 Two exposition formats:
 
 - :meth:`MetricsRegistry.snapshot` — a JSON-serializable dict (the
-  ``metrics`` half of the ``repro.obs/v1`` snapshot schema);
+  ``metrics`` half of the ``repro.obs/v2`` snapshot schema);
 - :meth:`MetricsRegistry.render_prometheus` — Prometheus text format
   (``# TYPE`` lines, cumulative ``_bucket{le=...}`` series).
 
@@ -29,6 +29,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BufferedRegistry",
+    "buffered",
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS_MS",
@@ -101,9 +103,16 @@ class Histogram:
     ``bucket_counts`` has one slot per bound plus a final overflow slot
     (the Prometheus ``+Inf`` bucket); counts are per-bucket internally
     and cumulated only at exposition time.
+
+    NaN observations land nowhere sensible in a ``<=``-edged bucket
+    scheme (``bisect`` would silently file them in the first bucket and
+    poison ``sum``), so they are tallied on their own ``nan`` counter —
+    same policy as :class:`repro.util.stats.Histogram` — and excluded
+    from ``count`` / ``sum`` / the buckets.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum",
+                 "nan")
 
     def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS,
                  labels: Labels = ()):
@@ -118,14 +127,19 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        self.nan = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (NaN goes to the ``nan`` tally)."""
+        if value != value:
+            self.nan += 1
+            return
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.sum += value
 
-    def add_counts(self, bucket_counts: Sequence[int], total_sum: float) -> None:
+    def add_counts(self, bucket_counts: Sequence[int], total_sum: float,
+                   nan: int = 0) -> None:
         """Bulk-merge pre-bucketed counts (e.g. a crawl shard's stats).
 
         ``bucket_counts`` must match this histogram's layout (one slot
@@ -135,12 +149,15 @@ class Histogram:
             raise ValueError(
                 f"bucket layout mismatch: {len(bucket_counts)} != "
                 f"{len(self.bucket_counts)}")
+        if nan < 0:
+            raise ValueError("nan count must be non-negative")
         for i, n in enumerate(bucket_counts):
             if n < 0:
                 raise ValueError("bucket counts must be non-negative")
             self.bucket_counts[i] += n
         self.count += sum(bucket_counts)
         self.sum += total_sum
+        self.nan += nan
 
 
 class MetricsRegistry:
@@ -217,10 +234,19 @@ class MetricsRegistry:
                     "counts": list(h.bucket_counts),
                     "count": h.count,
                     "sum": h.sum,
+                    "nan": h.nan,
                 }
                 for _, h in sorted(self._histograms.items())
             },
         }
+
+    def flush(self) -> None:
+        """No-op on a plain registry: writes are applied immediately.
+
+        :class:`BufferedRegistry` overrides this to fold its staged
+        increments into the target, so code holding either kind can
+        call ``flush()`` unconditionally at its commit points.
+        """
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of every metric."""
@@ -252,6 +278,9 @@ class MetricsRegistry:
             lines.append(f"{sane}_bucket{_render_labels(labels)} {h.count}")
             lines.append(f"{sane}_sum{_render_labels(h.labels)} {_fmt(h.sum)}")
             lines.append(f"{sane}_count{_render_labels(h.labels)} {h.count}")
+            if h.nan:
+                lines.append(
+                    f"{sane}_nan{_render_labels(h.labels)} {h.nan}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -259,17 +288,136 @@ def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() or ch in "_:" else "_" for ch in name)
 
 
+def _sanitize_label(name: str) -> str:
+    # Prometheus label names allow [a-zA-Z_][a-zA-Z0-9_]* — no colons,
+    # unlike metric names.
+    sane = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if sane[:1].isdigit():
+        sane = "_" + sane
+    return sane
+
+
 def _fmt(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
 def _render_labels(labels: Iterable[Tuple[str, str]]) -> str:
-    items = [f'{k}="{_escape(v)}"' for k, v in labels]
+    # Sanitizing label names can collide (`a.b` and `a-b` both become
+    # `a_b`); duplicates get a deterministic positional suffix rather
+    # than silently overwriting one another's series.
+    seen: Dict[str, int] = {}
+    items = []
+    for k, v in labels:
+        sane = _sanitize_label(k)
+        n = seen.get(sane, 0) + 1
+        seen[sane] = n
+        if n > 1:
+            sane = f"{sane}_{n}"
+        items.append(f'{sane}="{_escape(v)}"')
     return "{" + ",".join(items) + "}" if items else ""
 
 
 def _escape(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+# ---------------------------------------------------------------------------
+# Buffered (checkpoint-deduplicated) variant
+# ---------------------------------------------------------------------------
+
+
+class _BufferedGauge(Gauge):
+    __slots__ = ("touched",)
+
+    def __init__(self, name: str, labels: Labels = ()):
+        super().__init__(name, labels)
+        self.touched = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.touched = True
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+        self.touched = True
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+        self.touched = True
+
+
+class BufferedRegistry(MetricsRegistry):
+    """A staging registry whose updates only land on ``flush()``.
+
+    The reactive platform's exactly-once metric dedupe: a
+    :class:`~repro.reactive.service.CampaignWorker` records its live
+    counters/gauges/histograms into one of these, and folds the staged
+    increments into the service registry at its tick-checkpoint
+    boundary — the same instant its stream offsets and scheduler state
+    commit. A chaos kill between checkpoints drops the worker object
+    and its unflushed increments with it, so the restored worker's
+    replay re-records the rolled-back work exactly once instead of
+    double-counting it.
+
+    ``flush()`` resets the staged metrics *in place* (values zeroed,
+    objects kept) because callers hold bound references to them — the
+    scheduler binds its counters once at construction.
+    """
+
+    def __init__(self, target: MetricsRegistry):
+        super().__init__()
+        self.target = target
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The staged gauge named ``name`` (created on first use)."""
+        self._check_kind(name, "gauge")
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = _BufferedGauge(name, key[1])
+        return metric
+
+    def flush(self) -> None:
+        """Fold every staged update into the target, then reset staging."""
+        for (name, labels), c in sorted(self._counters.items()):
+            if c.value:
+                self.target.counter(name, **dict(labels)).inc(c.value)
+                c.value = 0
+        for (name, labels), g in sorted(self._gauges.items()):
+            if g.touched:  # type: ignore[attr-defined]
+                self.target.gauge(name, **dict(labels)).set(g.value)
+                g.touched = False  # type: ignore[attr-defined]
+        for (name, labels), h in sorted(self._histograms.items()):
+            if h.count or h.nan:
+                self.target.histogram(
+                    name, buckets=h.bounds,
+                    **dict(labels)).add_counts(h.bucket_counts, h.sum,
+                                               nan=h.nan)
+                for i in range(len(h.bucket_counts)):
+                    h.bucket_counts[i] = 0
+                h.count = 0
+                h.sum = 0.0
+                h.nan = 0
+
+    def discard(self) -> None:
+        """Drop every staged update without applying it."""
+        for _, c in self._counters.items():
+            c.value = 0
+        for _, g in self._gauges.items():
+            g.value = 0.0
+            g.touched = False  # type: ignore[attr-defined]
+        for _, h in self._histograms.items():
+            for i in range(len(h.bucket_counts)):
+                h.bucket_counts[i] = 0
+            h.count = 0
+            h.sum = 0.0
+            h.nan = 0
+
+
+def buffered(target: MetricsRegistry) -> MetricsRegistry:
+    """A :class:`BufferedRegistry` over ``target``, or ``target`` itself
+    when disabled (buffering no-ops costs more than it saves)."""
+    return BufferedRegistry(target) if target.enabled else target
 
 
 # ---------------------------------------------------------------------------
@@ -303,7 +451,8 @@ class _NullHistogram(Histogram):
     def observe(self, value: float) -> None:
         pass
 
-    def add_counts(self, bucket_counts: Sequence[int], total_sum: float) -> None:
+    def add_counts(self, bucket_counts: Sequence[int], total_sum: float,
+                   nan: int = 0) -> None:
         pass
 
 

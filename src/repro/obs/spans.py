@@ -52,8 +52,14 @@ class Span:
         self.meta.update(meta)
 
     def to_dict(self) -> Dict[str, object]:
-        """The span subtree as a JSON-serializable dict."""
+        """The span subtree as a JSON-serializable dict.
+
+        ``start`` is the raw monotonic clock reading — translate it to
+        wall time via the snapshot's ``anchor_monotonic`` /
+        ``started_at_utc`` pair (``repro.obs/v2``).
+        """
         out: Dict[str, object] = {"name": self.name,
+                                  "start": self.start,
                                   "duration_s": self.duration}
         if self.meta:
             out["meta"] = dict(self.meta)
@@ -99,6 +105,17 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def graft(self, span: Span) -> None:
+        """Attach an already-closed span subtree to the current position.
+
+        Used by :mod:`repro.obs.merge` to stitch a worker process's
+        captured span tree under the parent's open phase span (or as a
+        new root when no span is open). The subtree is adopted as-is —
+        its timestamps are expected to come from the same monotonic
+        domain (forked workers share the parent's clock).
+        """
+        (self._stack[-1].children if self._stack else self.roots).append(span)
+
     def snapshot(self) -> List[Dict[str, object]]:
         """Every root span subtree as JSON-serializable dicts."""
         return [root.to_dict() for root in self.roots]
@@ -141,6 +158,9 @@ class NullTracer(Tracer):
     def span(self, name: str, **meta) -> Iterator[Span]:
         """A no-op span (nothing is recorded)."""
         yield self._SPAN
+
+    def graft(self, span: Span) -> None:
+        """Nothing is recorded."""
 
     def snapshot(self) -> List[Dict[str, object]]:
         """Always empty."""

@@ -15,11 +15,23 @@ disabled (a test asserts this). The default is :data:`NULL_TELEMETRY`
 — a no-op registry and tracer around a real monotonic clock — so
 uninstrumented callers pay only inert method calls.
 
-The snapshot schema (``repro.obs/v1``)::
+The snapshot schema (``repro.obs/v2``)::
 
-    {"schema": "repro.obs/v1",
+    {"schema": "repro.obs/v2",
+     "run_id": "9f2c41aa03de",
+     "started_at_utc": "2021-03-01T12:00:00+00:00",
+     "anchor_monotonic": 81234.117,
      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
-     "spans": [{"name": ..., "duration_s": ..., "children": [...]}, ...]}
+     "spans": [{"name": ..., "start": ..., "duration_s": ...,
+                "children": [...]}, ...]}
+
+v2 adds the three identity/anchor keys (plus per-span ``start``
+offsets) on top of v1: span ``start`` values are raw monotonic clock
+readings, and ``started_at_utc + (start - anchor_monotonic)`` places
+any span on the wall clock — the same anchor pair a
+:class:`~repro.obs.journal.RunJournal` stamps into its header, so
+spans and journal records from one run correlate across processes.
+Readers accept both versions; v1 files simply lack the anchors.
 
 Benchmarks reuse the same schema for their ``BENCH_*.json`` trajectory
 files (see ``benchmarks/conftest.py``).
@@ -28,16 +40,22 @@ files (see ``benchmarks/conftest.py``).
 from __future__ import annotations
 
 import json
+from datetime import datetime, timezone
 from typing import Dict, Optional
 
 from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.journal import NULL_JOURNAL, new_run_id
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import NULL_TRACER, Tracer
 
-__all__ = ["RunTelemetry", "NULL_TELEMETRY", "SNAPSHOT_SCHEMA"]
+__all__ = ["RunTelemetry", "NULL_TELEMETRY", "SNAPSHOT_SCHEMA",
+           "SNAPSHOT_SCHEMAS"]
 
 #: Version tag stamped into every snapshot.
-SNAPSHOT_SCHEMA = "repro.obs/v1"
+SNAPSHOT_SCHEMA = "repro.obs/v2"
+
+#: Every schema version a reader should accept (v1 lacks the anchors).
+SNAPSHOT_SCHEMAS = ("repro.obs/v1", "repro.obs/v2")
 
 
 class RunTelemetry:
@@ -45,11 +63,24 @@ class RunTelemetry:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 clock: Optional[Clock] = None):
+                 clock: Optional[Clock] = None,
+                 run_id: Optional[str] = None,
+                 started_at_utc: Optional[str] = None):
         self.clock = clock or MonotonicClock()
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.clock)
+        #: 12-hex-digit run identity, shared with the run's journal.
+        self.run_id = run_id or new_run_id()
+        #: Wall-clock anchor: the UTC instant `anchor_monotonic` was read.
+        self.started_at_utc = started_at_utc or \
+            datetime.now(timezone.utc).isoformat()
+        #: Monotonic anchor: span ``start`` offsets are readings of the
+        #: same clock, so `started_at_utc + (start - anchor_monotonic)`
+        #: places a span on the wall clock.
+        self.anchor_monotonic = self.clock.now()
+        #: The run journal, if one is attached (see ``attach_journal``).
+        self.journal = NULL_JOURNAL
 
     @classmethod
     def create(cls, clock: Optional[Clock] = None) -> "RunTelemetry":
@@ -66,12 +97,27 @@ class RunTelemetry:
         """Whether anything is actually recorded."""
         return self.registry.enabled or self.tracer.enabled
 
+    def attach_journal(self, journal) -> None:
+        """Attach a :class:`~repro.obs.journal.RunJournal` to this run.
+
+        The shared :data:`NULL_TELEMETRY` refuses an enabled journal —
+        it is a process-wide singleton and must stay inert.
+        """
+        if journal.enabled and self is NULL_TELEMETRY:
+            raise ValueError(
+                "cannot attach a journal to the shared NULL_TELEMETRY; "
+                "use RunTelemetry.create()")
+        self.journal = journal
+
     # -- exposition -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """The full ``repro.obs/v1`` snapshot (JSON-serializable)."""
+        """The full ``repro.obs/v2`` snapshot (JSON-serializable)."""
         return {
             "schema": SNAPSHOT_SCHEMA,
+            "run_id": self.run_id,
+            "started_at_utc": self.started_at_utc,
+            "anchor_monotonic": self.anchor_monotonic,
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.snapshot(),
         }

@@ -43,6 +43,7 @@ from repro.dns.rcode import ResponseStatus
 from repro.dns.resolver import AgnosticResolver, ResolverConfig
 from repro.dns.rr import RRType
 from repro.obs import NULL_TELEMETRY, RunTelemetry
+from repro.obs.merge import capture_telemetry, merge_capture
 from repro.openintel.records import Measurement
 from repro.openintel.stats import CrawlStats
 from repro.openintel.storage import MeasurementStore
@@ -314,10 +315,14 @@ class OpenIntelPlatform:
             from repro.columnar import MeasurementBatch
 
             merged_batch = MeasurementBatch()
+        journal = self.telemetry.journal
+        for shard in range(n_workers):
+            journal.emit("worker.start", surface="crawl", shard=shard,
+                         n_shards=n_workers)
         _FORK_PARENT = self
         try:
             with multiprocessing.get_context("fork").Pool(n_workers) as pool:
-                for done, (payload, raw, stats) in enumerate(
+                for done, (payload, raw, stats, capture) in enumerate(
                         pool.imap(_crawl_shard, jobs), start=1):
                     if merged_batch is not None:
                         merged_batch.extend(payload)
@@ -326,6 +331,15 @@ class OpenIntelPlatform:
                     self.raw.extend(raw)
                     if self.stats is not None and stats is not None:
                         self.stats.merge(stats)
+                    if capture is not None:
+                        # imap yields in job order, so shard == done-1;
+                        # folding here keeps the merge deterministic.
+                        merge_capture(self.telemetry, capture,
+                                      shard=done - 1)
+                    journal.emit("worker.finish", surface="crawl",
+                                 shard=done - 1,
+                                 rows=stats.rows if stats is not None
+                                 else None)
                     if progress is not None:
                         progress(done, n_workers)
         finally:
@@ -348,7 +362,7 @@ _FORK_PARENT: Optional[OpenIntelPlatform] = None
 
 
 def _crawl_shard(args) -> Tuple[object, List[Measurement],
-                                Optional[CrawlStats]]:
+                                Optional[CrawlStats], Optional[dict]]:
     """Worker entry point: crawl one shard of the domain population.
 
     Returns the shard's filled :class:`MeasurementStore` — or, on a
@@ -361,6 +375,16 @@ def _crawl_shard(args) -> Tuple[object, List[Measurement],
     assignment and fresh output store/stats are local to this process.
     The shard's :class:`CrawlStats` (``None`` when telemetry is off)
     rides back with the store for the parent to merge.
+
+    When the parent's telemetry is enabled, the shard also runs under
+    its own fresh telemetry bundle — a ``crawl.shard`` span plus its
+    stats published to a shard-local registry — and ships the capture
+    back as the fourth element for the parent to stitch under its
+    ``crawl`` span with a ``shard`` label (:mod:`repro.obs.merge`).
+    Forked children share the parent's monotonic clock domain, so the
+    grafted span offsets line up without rebasing. The shard's journal
+    stays the null journal: only the parent writes the journal file
+    (the forked file descriptor is not safely shareable).
     """
     shard, n_shards, start, end = args
     platform = _FORK_PARENT
@@ -369,14 +393,30 @@ def _crawl_shard(args) -> Tuple[object, List[Measurement],
     platform.store = MeasurementStore()
     platform.raw = []
     platform.stats = CrawlStats() if platform.stats is not None else None
+    shard_telemetry = None
+    if platform.telemetry.enabled:
+        shard_telemetry = RunTelemetry.create(clock=platform.telemetry.clock)
+        platform.telemetry = shard_telemetry
     if platform.columnar:
         # Return the shard's raw batch, unflushed: the parent folds the
         # concatenation of all shards into its store in one flush.
         platform._defer_flush = True
-        platform.run(start, end)
-        return platform._pending_batch, platform.raw, platform.stats
-    store = platform.run(start, end)
-    return store, platform.raw, platform.stats
+    if shard_telemetry is None:
+        payload = platform.run(start, end)
+    else:
+        with shard_telemetry.tracer.span("crawl.shard", shard=shard,
+                                         n_shards=n_shards) as span:
+            payload = platform.run(start, end)
+            if platform.stats is not None:
+                span.annotate(rows=platform.stats.rows)
+    if platform.columnar:
+        payload = platform._pending_batch
+    capture = None
+    if shard_telemetry is not None:
+        if platform.stats is not None:
+            platform.stats.publish(shard_telemetry.registry)
+        capture = capture_telemetry(shard_telemetry)
+    return payload, platform.raw, platform.stats, capture
 
 
 def run_parallel(config_or_world: Union[World, "WorldConfig"],

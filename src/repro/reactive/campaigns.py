@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.journal import NULL_JOURNAL
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.streaming.scheduler import EventScheduler
 from repro.telescope.rsdos import InferredAttack
@@ -216,7 +217,8 @@ class CampaignScheduler:
                  shed_after_s: int = 30 * MINUTE,
                  min_allocation: int = 1,
                  on_probe: Optional[Callable[[Campaign, int, int], None]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 journal=NULL_JOURNAL):
         if probes_per_window < 1:
             raise ValueError("probes_per_window must be >= 1")
         if probe_budget is not None and probe_budget < 1:
@@ -240,6 +242,7 @@ class CampaignScheduler:
         self.in_flight = 0
         metrics = metrics if metrics is not None else NULL_REGISTRY
         self.metrics = metrics
+        self.journal = journal
         self._c_admitted = metrics.counter("repro.reactive.admitted")
         self._c_shed = metrics.counter("repro.reactive.shed",
                                        reason="overload")
@@ -296,6 +299,11 @@ class CampaignScheduler:
         self.active.append(campaign)
         self._c_admitted.inc()
         self._h_latency.observe(float(campaign.trigger_latency_s))
+        self.journal.emit("reactive.admit", campaign=campaign.key,
+                          allocation=grant, full=full,
+                          latency_s=campaign.trigger_latency_s,
+                          late="late" in campaign.reasons,
+                          throttled="throttled" in campaign.reasons)
 
     def _shed(self, campaign: Campaign, w: int) -> None:
         campaign.state = CampaignState.SHED
@@ -303,6 +311,8 @@ class CampaignScheduler:
         campaign.flag("shed")
         self.finished.append(campaign)
         self._c_shed.inc()
+        self.journal.emit("reactive.shed", campaign=campaign.key,
+                          waited_s=w - campaign.report_ts)
 
     def schedule_window(self, w: int) -> int:
         """Lay out this window's probes for every active campaign, in

@@ -31,11 +31,18 @@ trigger and validated topics up to the committed offsets — recovery
 never replays below a committed offset, and the release is what frees
 capacity on a bounded ``block`` trigger topic.
 
-Metric exactness under chaos: live counters (admitted, probes, trigger
-latency observations…) may re-count work that a crash rolled back and
-replay re-did — they are at-least-once. The end-of-run counters and
-gauges the service sets from final campaign state, and everything in
-:meth:`ReactiveReport.summary`, are exact.
+Metric exactness under chaos: the worker's live counters (admitted,
+probes, trigger latency observations…) are staged in a
+:class:`~repro.obs.registry.BufferedRegistry` and folded into the real
+registry only at the tick-checkpoint boundary — the same commit point
+the broker offsets use. Work a crash rolls back dies with the buffer
+(a fresh worker starts a fresh one), so replay cannot double-count:
+faulted and unfaulted runs end with identical ``repro.reactive.*``
+series (modulo the kill/restore counters themselves, which only exist
+under chaos). Broker transport metrics (``repro.stream.*``) remain
+at-least-once, as do run-journal records — journal entries are
+labeled with the worker incarnation instead of being deduplicated, so
+the journal shows the replays the metrics hide.
 """
 
 from __future__ import annotations
@@ -48,6 +55,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 from repro.chaos.injector import FaultInjector
 from repro.core.reactive import ReactiveProbe, ReactiveStore
 from repro.dns.rr import RRType
+from repro.obs.journal import NULL_JOURNAL
+from repro.obs.registry import buffered
 from repro.obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from repro.reactive.campaigns import (
     Campaign,
@@ -142,7 +151,8 @@ class CampaignWorker:
                  shed_after_s: int, min_allocation: int,
                  checkpoint_every: int, transport, seed: int,
                  crash_hook: Optional[Callable[[int], bool]] = None,
-                 on_checkpoint: Optional[Callable[[Dict], None]] = None):
+                 on_checkpoint: Optional[Callable[[Dict], None]] = None,
+                 journal=NULL_JOURNAL):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.broker = broker
@@ -155,7 +165,11 @@ class CampaignWorker:
         self.checkpoint_every = checkpoint_every
         self.crash_hook = crash_hook
         self.on_checkpoint = on_checkpoint or (lambda state: None)
-        self.metrics = broker.metrics
+        self.journal = journal
+        # Live metrics are staged and folded in at checkpoint time, so
+        # a crash discards exactly the increments whose work the
+        # restore rolls back (see the module docstring).
+        self.metrics = buffered(broker.metrics)
         ns_ips = world.directory.nameserver_ips()
         self.trigger_topic = broker.topic(TRIGGER_TOPIC)
         self.job = StreamJob(
@@ -173,7 +187,7 @@ class CampaignWorker:
         self.campaigns = CampaignScheduler(
             probes_per_window=probes_per_window, probe_budget=probe_budget,
             shed_after_s=shed_after_s, min_allocation=min_allocation,
-            on_probe=self._probe, metrics=self.metrics)
+            on_probe=self._probe, metrics=self.metrics, journal=journal)
         #: end of the last committed tick (the next tick's start).
         self.now_window: Optional[int] = None
         self.ticks = 0
@@ -292,6 +306,11 @@ class CampaignWorker:
         self.trigger_topic.trim(self.job.consumer.offset)
         self.validated.trim(self.consumer.offset)
         self._c_checkpoints.inc()
+        # The checkpoint is the durability point: everything staged up
+        # to here is committed work, so fold it into the real registry.
+        self.metrics.flush()
+        self.journal.emit("worker.checkpoint", surface="reactive",
+                          ticks=self.ticks)
         self.on_checkpoint(state)
         return state
 
@@ -420,6 +439,11 @@ class ReactiveService:
     # -- worker lifecycle -----------------------------------------------------
 
     def _new_worker(self) -> CampaignWorker:
+        # Journal records from this incarnation carry its number: under
+        # chaos the journal is at-least-once (replays re-log), and the
+        # label is what tells replayed records apart.
+        journal = self.telemetry.journal.bind(
+            surface="reactive", incarnation=self.n_restores)
         return CampaignWorker(
             self._broker, self.world,
             probes_per_window=self.probes_per_window,
@@ -431,15 +455,19 @@ class ReactiveService:
             checkpoint_every=self.checkpoint_every,
             transport=self.transport, seed=self.seed,
             crash_hook=self._crash_hook,
-            on_checkpoint=self._on_checkpoint)
+            on_checkpoint=self._on_checkpoint,
+            journal=journal)
 
     def _on_checkpoint(self, state: Dict) -> None:
         self._checkpoint = state
         self.n_checkpoints += 1
 
-    def _recover(self) -> None:
+    def _recover(self, tick_ts: Optional[int] = None) -> None:
         """Replace the dead worker with a fresh one restored from the
         last checkpoint (the kill-and-resume half of exactly-once)."""
+        journal = self.telemetry.journal
+        journal.emit("worker.kill", surface="reactive",
+                     incarnation=self.n_restores, tick_ts=tick_ts)
         self.n_kills += 1
         self._c_kills.inc()
         if self.n_restores >= self._max_restores:
@@ -450,6 +478,9 @@ class ReactiveService:
         self._c_restores.inc()
         self._worker = self._new_worker()
         self._worker.restore(self._checkpoint)
+        journal.emit("worker.restore", surface="reactive",
+                     incarnation=self.n_restores,
+                     ticks=self._worker.ticks)
 
     def _pump(self) -> bool:
         """The bounded trigger topic's drain hook (``block`` policy):
@@ -457,8 +488,8 @@ class ReactiveService:
         try:
             if self._worker.run_tick():
                 return True
-        except WorkerKilled:
-            self._recover()
+        except WorkerKilled as exc:
+            self._recover(exc.tick_ts)
             return True
         # Fully drained: any capacity still held is consumed-but-
         # untrimmed retention; a checkpoint commits and releases it.
@@ -498,12 +529,21 @@ class ReactiveService:
                 for attack in triggers:
                     trigger_topic.produce(attack.start, attack)
             with self.telemetry.tracer.span("reactive.drain"):
-                while True:
-                    try:
-                        if not self._worker.run_tick():
-                            break
-                    except WorkerKilled:
-                        self._recover()
+                # One child span per worker incarnation: a clean run
+                # has exactly one; every chaos kill ends the current
+                # span and a restored worker opens the next.
+                draining = True
+                while draining:
+                    with self.telemetry.tracer.span(
+                            "reactive.worker",
+                            incarnation=self.n_restores) as span:
+                        try:
+                            while self._worker.run_tick():
+                                pass
+                            draining = False
+                        except WorkerKilled as exc:
+                            span.annotate(killed_at=exc.tick_ts)
+                            self._recover(exc.tick_ts)
             # Final checkpoint: commit and release whatever the tail held.
             self._worker.checkpoint_now()
         return self._report(triggers, trigger_topic)

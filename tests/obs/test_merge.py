@@ -1,0 +1,102 @@
+"""Cross-process capture/merge: span grafting and labeled metric folds."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CAPTURE_SCHEMA,
+    RunTelemetry,
+    capture_telemetry,
+    merge_capture,
+    span_from_dict,
+)
+from repro.obs.clock import FakeClock
+
+
+def worker_telemetry(clock):
+    """What a forked shard builds: its own registry + tracer over the
+    parent's clock domain."""
+    telemetry = RunTelemetry.create(clock=clock)
+    with telemetry.tracer.span("crawl.shard", shard=1) as span:
+        clock.advance(2.0)
+        span.annotate(rows=42)
+    telemetry.registry.counter("repro.crawl.rows").inc(42)
+    telemetry.registry.gauge("repro.crawl.progress").set(1.0)
+    telemetry.registry.histogram(
+        "repro.crawl.rtt_ms", buckets=(1.0, 10.0)).observe(5.0)
+    return telemetry
+
+
+class TestCapture:
+    def test_capture_is_json_serializable(self):
+        clock = FakeClock()
+        capture = capture_telemetry(worker_telemetry(clock))
+        round_tripped = json.loads(json.dumps(capture))
+        assert round_tripped["schema"] == CAPTURE_SCHEMA
+        assert round_tripped["spans"][0]["name"] == "crawl.shard"
+        assert round_tripped["metrics"]
+
+    def test_capture_carries_run_identity(self):
+        telemetry = worker_telemetry(FakeClock())
+        capture = capture_telemetry(telemetry)
+        assert capture["run_id"] == telemetry.run_id
+        assert capture["started_at_utc"] == telemetry.started_at_utc
+        assert capture["anchor_monotonic"] == telemetry.anchor_monotonic
+
+
+class TestMerge:
+    @pytest.fixture()
+    def merged(self):
+        clock = FakeClock()
+        parent = RunTelemetry.create(clock=clock)
+        with parent.tracer.span("study"):
+            with parent.tracer.span("crawl"):
+                capture = json.loads(json.dumps(
+                    capture_telemetry(worker_telemetry(clock))))
+                merge_capture(parent, capture, shard=3)
+        return parent
+
+    def test_shard_spans_graft_under_the_open_span(self, merged):
+        study = merged.tracer.roots[0]
+        crawl = study.children[0]
+        shard_span = crawl.children[0]
+        assert shard_span.name == "crawl.shard"
+        assert shard_span.duration == pytest.approx(2.0)
+        assert shard_span.meta["rows"] == 42
+
+    def test_merge_labels_land_on_the_grafted_root(self, merged):
+        shard_span = merged.tracer.roots[0].children[0].children[0]
+        assert shard_span.meta["shard"] == 3
+
+    def test_metrics_fold_with_the_extra_labels(self, merged):
+        snap = merged.snapshot()["metrics"]
+        assert snap["counters"]["repro.crawl.rows{shard=3}"] == 42
+        assert snap["gauges"]["repro.crawl.progress{shard=3}"] == 1.0
+        hist = snap["histograms"]["repro.crawl.rtt_ms{shard=3}"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(5.0)
+
+    def test_merge_into_closed_tracer_adds_a_root(self):
+        clock = FakeClock()
+        parent = RunTelemetry.create(clock=clock)
+        capture = capture_telemetry(worker_telemetry(clock))
+        merge_capture(parent, capture, shard=0)
+        assert [r.name for r in parent.tracer.roots] == ["crawl.shard"]
+
+
+class TestSpanFromDict:
+    def test_reconstructs_nested_spans(self):
+        clock = FakeClock()
+        telemetry = RunTelemetry.create(clock=clock)
+        with telemetry.tracer.span("outer"):
+            clock.advance(1.0)
+            with telemetry.tracer.span("inner", k="v"):
+                clock.advance(2.0)
+        original = telemetry.tracer.roots[0]
+        rebuilt = span_from_dict(original.to_dict())
+        assert rebuilt.name == "outer"
+        assert rebuilt.duration == pytest.approx(original.duration)
+        assert rebuilt.children[0].name == "inner"
+        assert rebuilt.children[0].meta == {"k": "v"}
+        assert rebuilt.to_dict() == original.to_dict()

@@ -1,0 +1,163 @@
+"""The ``repro obs`` subcommands over crafted journals and snapshots."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RunJournal, RunTelemetry
+from repro.obs.cli import load_observations
+from repro.obs.clock import FakeClock
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    clock = FakeClock()
+    journal = RunJournal(tmp_path / "run.jsonl", run_id="deadbeef",
+                         clock=clock,
+                         started_at_utc="2021-03-01T00:00:00+00:00")
+    journal.emit("run.start", seed=42)
+    journal.emit("phase.start", phase="crawl")
+    clock.advance(2.0)
+    journal.emit("phase.finish", phase="crawl", duration_s=2.0,
+                 cached=False)
+    journal.emit("chaos.fault", surface="feed", kind="drop")
+    journal.emit("run.finish", degraded=False, faults=1)
+    journal.close()
+    return str(tmp_path / "run.jsonl")
+
+
+def snapshot_file(tmp_path, name, **gauges):
+    telemetry = RunTelemetry.create()
+    for key, value in gauges.items():
+        telemetry.registry.gauge(f"repro.bench.demo.{key}").set(value)
+    path = tmp_path / name
+    telemetry.write_json(str(path))
+    return str(path)
+
+
+class TestLoadObservations:
+    def test_detects_journal(self, journal_path):
+        kind, records = load_observations(journal_path)
+        assert kind == "journal"
+        assert records[0]["type"] == "journal.open"
+
+    def test_detects_snapshot(self, tmp_path):
+        path = snapshot_file(tmp_path, "snap.json", wall_s=1.0)
+        kind, doc = load_observations(path)
+        assert kind == "snapshot"
+        assert doc["metrics"]["gauges"]
+
+    def test_rejects_other_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError):
+            load_observations(str(path))
+
+
+class TestSummary:
+    def test_journal_summary(self, journal_path, capsys):
+        assert main(["obs", "summary", journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "run deadbeef" in out
+        assert "crawl" in out and "2.000s" in out
+        assert "chaos faults: 1" in out
+
+    def test_snapshot_summary(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "snap.json", wall_s=1.0)
+        assert main(["obs", "summary", path]) == 0
+        assert "1 gauges" in capsys.readouterr().out
+
+    def test_truncated_journal_is_flagged(self, tmp_path, capsys):
+        journal = RunJournal(tmp_path / "dead.jsonl", clock=FakeClock())
+        journal.emit("phase.start", phase="crawl")
+        # No close(): the run "crashed"; the prefix must still summarize.
+        assert main(["obs", "summary", str(tmp_path / "dead.jsonl")]) == 0
+        assert "no footer" in capsys.readouterr().out
+        journal.close()
+
+
+class TestTail:
+    def test_last_n_records(self, journal_path, capsys):
+        assert main(["obs", "tail", journal_path, "-n", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert "run.finish" in lines[0]
+        assert "journal.close" in lines[1]
+
+    def test_snapshot_is_refused(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "snap.json", wall_s=1.0)
+        assert main(["obs", "tail", path]) == 2
+
+
+class TestDiff:
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        a = snapshot_file(tmp_path, "a.json", wall_s=1.0)
+        b = snapshot_file(tmp_path, "b.json", wall_s=1.0)
+        assert main(["obs", "diff", a, b]) == 0
+
+    def test_differing_snapshots_exit_one(self, tmp_path, capsys):
+        a = snapshot_file(tmp_path, "a.json", wall_s=1.0, rows=5)
+        b = snapshot_file(tmp_path, "b.json", wall_s=2.0)
+        assert main(["obs", "diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "~ repro.bench.demo.wall_s: 1.0 -> 2.0" in out
+        assert "- repro.bench.demo.rows = 5" in out
+
+    def test_journal_is_refused(self, journal_path, tmp_path, capsys):
+        b = snapshot_file(tmp_path, "b.json", wall_s=1.0)
+        assert main(["obs", "diff", journal_path, b]) == 2
+
+
+class TestBenchDiff:
+    def bench_dir(self, tmp_path, name, **gauges):
+        d = tmp_path / name
+        d.mkdir()
+        snapshot_file(d, "BENCH_demo.json", **gauges)
+        return str(d)
+
+    def test_regression_fails(self, tmp_path, capsys):
+        base = self.bench_dir(tmp_path, "base", wall_s=1.0, speedup=4.0)
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=2.0, speedup=4.0)
+        assert main(["obs", "bench-diff", fresh, base]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_speedup_drop_is_a_regression(self, tmp_path, capsys):
+        base = self.bench_dir(tmp_path, "base", wall_s=1.0, speedup=4.0)
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=1.0, speedup=2.0)
+        assert main(["obs", "bench-diff", fresh, base]) == 1
+
+    def test_improvement_and_noise_pass(self, tmp_path, capsys):
+        base = self.bench_dir(tmp_path, "base", wall_s=2.0, rows=100)
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=1.0, rows=200)
+        # rows has no direction: a 2x change is reported, never failed.
+        assert main(["obs", "bench-diff", fresh, base]) == 0
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        base = self.bench_dir(tmp_path, "base", wall_s=1.0)
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=9.0)
+        assert main(["obs", "bench-diff", fresh, base,
+                     "--report-only"]) == 0
+
+    def test_threshold_is_respected(self, tmp_path, capsys):
+        base = self.bench_dir(tmp_path, "base", wall_s=1.0)
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=1.2)
+        assert main(["obs", "bench-diff", fresh, base]) == 0  # within 25%
+        assert main(["obs", "bench-diff", fresh, base,
+                     "--threshold", "0.1"]) == 1
+
+    def test_no_common_files_is_an_error(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        base.mkdir()
+        fresh = self.bench_dir(tmp_path, "fresh", wall_s=1.0)
+        assert main(["obs", "bench-diff", fresh, str(base)]) == 2
+
+
+class TestGraphFromJournal:
+    def test_dot_nodes_carry_durations(self, journal_path, capsys):
+        assert main(["graph", "--dot", "--from-journal",
+                     journal_path]) == 0
+        out = capsys.readouterr().out
+        assert '"crawl" [shape=box label="crawl\\n2.000s"];' in out
+        # Phases the journal never finished render unannotated.
+        assert '"world" [shape=ellipse];' in out

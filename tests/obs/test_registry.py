@@ -1,14 +1,17 @@
 """Registry semantics: counters, gauges, histograms, exposition."""
 
 import json
+import math
 
 import pytest
 
 from repro.obs import (
     DEFAULT_BUCKETS_MS,
     NULL_REGISTRY,
+    BufferedRegistry,
     MetricsRegistry,
     NullRegistry,
+    buffered,
 )
 
 
@@ -114,7 +117,8 @@ class TestExposition:
         assert snap["counters"] == {"repro.a{kind=x}": 3}
         assert snap["gauges"] == {"repro.b": 1.5}
         assert snap["histograms"]["repro.c"] == {
-            "bounds": [1.0], "counts": [1, 0], "count": 1, "sum": 0.5}
+            "bounds": [1.0], "counts": [1, 0], "count": 1, "sum": 0.5,
+            "nan": 0}
 
     def test_prometheus_rendering(self, registry):
         registry.counter("repro.chaos.faults", surface="feed",
@@ -136,6 +140,135 @@ class TestExposition:
 
     def test_empty_registry_renders_empty(self, registry):
         assert registry.render_prometheus() == ""
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+    def test_rendering_is_stable_across_calls(self, registry):
+        registry.counter("repro.a", kind="x").inc()
+        registry.histogram("repro.c", buckets=(1.0,)).observe(0.5)
+        assert registry.render_prometheus() == registry.render_prometheus()
+        assert registry.snapshot() == registry.snapshot()
+
+
+class TestHistogramNaN:
+    """NaN observations are tallied apart, never poisoning the sum."""
+
+    def test_nan_lands_in_its_own_tally(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(float("nan"))
+        assert h.nan == 1
+        assert h.count == 1
+        assert not math.isnan(h.sum)
+        assert h.bucket_counts == [1, 0]
+
+    def test_nan_appears_in_snapshot(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0,))
+        h.observe(float("nan"))
+        snap = registry.snapshot()["histograms"]["repro.test.rtt"]
+        assert snap["nan"] == 1
+        assert snap["count"] == 0
+
+    def test_nan_series_rendered_only_when_nonzero(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0,))
+        h.observe(0.5)
+        assert "_nan" not in registry.render_prometheus()
+        h.observe(float("nan"))
+        assert "repro_test_rtt_nan 1" in registry.render_prometheus()
+
+    def test_add_counts_carries_nan(self, registry):
+        h = registry.histogram("repro.test.rtt", buckets=(1.0,))
+        h.add_counts([1, 0], 0.5, nan=3)
+        assert h.nan == 3
+        with pytest.raises(ValueError):
+            h.add_counts([1, 0], 0.5, nan=-1)
+
+
+class TestLabelSanitization:
+    def test_label_names_are_sanitized(self, registry):
+        registry.counter("repro.a", **{"kind.of": "x"}).inc()
+        assert 'kind_of="x"' in registry.render_prometheus()
+
+    def test_digit_prefixed_label_gets_underscore(self, registry):
+        registry.counter("repro.a", **{"0day": "y"}).inc()
+        assert '_0day="y"' in registry.render_prometheus()
+
+    def test_colliding_label_names_get_positional_suffixes(self, registry):
+        # `a.b` and `a-b` both sanitize to `a_b`: the second must not
+        # silently overwrite the first's series.
+        registry.counter("repro.a", **{"a.b": "x", "a-b": "y"}).inc()
+        text = registry.render_prometheus()
+        assert 'a_b="' in text
+        assert 'a_b_2="' in text
+
+    def test_collision_suffixes_are_deterministic(self, registry):
+        registry.counter("repro.a", **{"a.b": "x", "a-b": "y"}).inc()
+        other = MetricsRegistry()
+        other.counter("repro.a", **{"a-b": "y", "a.b": "x"}).inc()
+        assert registry.render_prometheus() == other.render_prometheus()
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("repro.a", k='va"l\n').inc()
+        assert r'k="va\"l\n"' in registry.render_prometheus()
+
+
+class TestBufferedRegistry:
+    @pytest.fixture()
+    def target(self):
+        return MetricsRegistry()
+
+    @pytest.fixture()
+    def staging(self, target):
+        return BufferedRegistry(target)
+
+    def test_updates_stay_staged_until_flush(self, staging, target):
+        staging.counter("repro.r.probes").inc(5)
+        staging.gauge("repro.r.depth").set(3.0)
+        staging.histogram("repro.r.lat", buckets=(1.0,)).observe(0.5)
+        assert target.snapshot() == {"counters": {}, "gauges": {},
+                                     "histograms": {}}
+        staging.flush()
+        snap = target.snapshot()
+        assert snap["counters"]["repro.r.probes"] == 5
+        assert snap["gauges"]["repro.r.depth"] == 3.0
+        assert snap["histograms"]["repro.r.lat"]["count"] == 1
+
+    def test_flush_resets_in_place(self, staging, target):
+        c = staging.counter("repro.r.probes")
+        c.inc(5)
+        staging.flush()
+        # The bound reference survives and keeps accumulating: a second
+        # flush folds only the new increments.
+        c.inc(2)
+        staging.flush()
+        assert target.counter("repro.r.probes").value == 7
+
+    def test_untouched_gauge_is_not_flushed(self, staging, target):
+        target.gauge("repro.r.depth").set(9.0)
+        staging.gauge("repro.r.depth")  # created but never written
+        staging.flush()
+        assert target.gauge("repro.r.depth").value == 9.0
+
+    def test_discard_drops_staged_updates(self, staging, target):
+        c = staging.counter("repro.r.probes")
+        c.inc(5)
+        staging.gauge("repro.r.depth").set(3.0)
+        staging.discard()
+        staging.flush()
+        assert target.snapshot() == {"counters": {}, "gauges": {},
+                                     "histograms": {}}
+        c.inc(1)  # the object still works after a discard
+        staging.flush()
+        assert target.counter("repro.r.probes").value == 1
+
+    def test_buffered_factory(self, target):
+        assert isinstance(buffered(target), BufferedRegistry)
+        assert buffered(NULL_REGISTRY) is NULL_REGISTRY
+
+    def test_plain_registry_flush_is_a_noop(self, target):
+        target.counter("repro.r.probes").inc()
+        target.flush()
+        assert target.counter("repro.r.probes").value == 1
 
 
 class TestNullRegistry:

@@ -100,9 +100,10 @@ class TestAnnotations:
         snap = json.loads(json.dumps(tracer.snapshot()))
         assert snap == [{
             "name": "study",
+            "start": 0.0,
             "duration_s": 3.0,
-            "children": [{"name": "crawl", "duration_s": 2.0,
-                          "meta": {"workers": 2}}],
+            "children": [{"name": "crawl", "start": 1.0,
+                          "duration_s": 2.0, "meta": {"workers": 2}}],
         }]
 
     def test_render_tree_indents_and_sorts_meta(self, clock, tracer):

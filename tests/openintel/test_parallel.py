@@ -79,7 +79,8 @@ class TestWorkerConfigFidelity:
             # the worker platform *is* the parent object, so every
             # setting the serial crawl would use is what the shard uses.
             start = tiny_world.timeline.start
-            store, raw, _stats = _crawl_shard((0, 2, start, start + DAY))
+            store, raw, _stats, _capture = _crawl_shard(
+                (0, 2, start, start + DAY))
         finally:
             platform_mod._FORK_PARENT = None
         worker_platform = platform  # fork: same object in the child

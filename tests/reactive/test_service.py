@@ -235,3 +235,96 @@ class TestTelemetry:
                 continue
             key = f"repro.reactive.campaign_probes{{campaign={campaign.key}}}"
             assert gauges[key] == campaign.n_probes
+
+
+class TestMetricDedupeUnderChaos:
+    """The checkpoint-buffered live metrics: a faulted run's end-state
+    equals a clean one's, not just its summary (the historical
+    double-count regression)."""
+
+    # The only series allowed to differ: they count the chaos itself.
+    CHAOS_ONLY = ("repro.reactive.worker_kills", "repro.reactive.restores")
+
+    def reactive_series(self, telemetry):
+        snap = telemetry.registry.snapshot()
+        return {
+            kind: {name: value for name, value in snap[kind].items()
+                   if name.startswith("repro.reactive.")
+                   and not name.startswith(self.CHAOS_ONLY)}
+            for kind in ("counters", "gauges", "histograms")
+        }
+
+    @pytest.mark.parametrize("chaos_seed", [1, 5])
+    def test_faulted_metrics_equal_clean_metrics(self, world, triggers,
+                                                 chaos_seed):
+        clean_tel = RunTelemetry.create()
+        clean = make_service(world, telemetry=clean_tel).run(triggers)
+        chaos_tel = RunTelemetry.create()
+        injector = FaultInjector(
+            ChaosConfig.reactive_preset("heavy", seed=chaos_seed))
+        chaotic = make_service(world, telemetry=chaos_tel).run(
+            triggers, injector=injector)
+        assert chaotic.counts["kills"] > 0, "chaos never fired"
+        # Replayed ticks re-run admission, probing and latency
+        # observations; without checkpoint dedupe every one of these
+        # series over-counts in the faulted run.
+        assert self.reactive_series(chaos_tel) == \
+            self.reactive_series(clean_tel)
+
+    def test_kill_counters_stay_live(self, world, triggers):
+        """The kill/restore counters must NOT be deduped: they record
+        the chaos, not the replayed work."""
+        telemetry = RunTelemetry.create()
+        injector = FaultInjector(
+            ChaosConfig.reactive_preset("heavy", seed=1))
+        report = make_service(world, telemetry=telemetry).run(
+            triggers, injector=injector)
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["repro.reactive.worker_kills"] == \
+            report.counts["kills"]
+        assert counters["repro.reactive.restores"] == \
+            report.counts["restores"]
+
+
+class TestReactiveJournal:
+    def run_with_journal(self, world, triggers, tmp_path, injector=None):
+        from repro.obs import RunJournal, read_journal
+
+        telemetry = RunTelemetry.create()
+        path = tmp_path / "reactive.jsonl"
+        telemetry.attach_journal(RunJournal(
+            path, run_id=telemetry.run_id, clock=telemetry.clock,
+            started_at_utc=telemetry.started_at_utc))
+        make_service(world, telemetry=telemetry).run(
+            triggers, injector=injector)
+        telemetry.journal.close()
+        return read_journal(path)
+
+    def test_admission_decisions_are_journaled(self, world, triggers,
+                                               tmp_path):
+        records = self.run_with_journal(world, triggers, tmp_path)
+        admits = [r for r in records if r["type"] == "reactive.admit"]
+        assert admits
+        for r in admits:
+            assert {"campaign", "allocation", "full", "latency_s",
+                    "late", "throttled"} <= set(r)
+            assert r["incarnation"] == 0  # no chaos: one worker
+
+    def test_kill_restore_checkpoint_records(self, world, triggers,
+                                             tmp_path):
+        injector = FaultInjector(
+            ChaosConfig.reactive_preset("heavy", seed=1))
+        records = self.run_with_journal(world, triggers, tmp_path,
+                                        injector=injector)
+        kills = [r for r in records if r["type"] == "worker.kill"]
+        restores = [r for r in records if r["type"] == "worker.restore"]
+        checkpoints = [r for r in records
+                       if r["type"] == "worker.checkpoint"]
+        assert kills and len(kills) == len(restores)
+        assert kills[0]["tick_ts"] is not None
+        # Incarnations advance one per restore.
+        assert [r["incarnation"] for r in restores] == \
+            list(range(1, len(restores) + 1))
+        assert checkpoints
+        incarnations = {r["incarnation"] for r in checkpoints}
+        assert len(incarnations) > 1  # replayed workers journal too

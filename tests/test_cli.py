@@ -34,9 +34,12 @@ class TestParser:
         for argv in (["report"], ["export"], ["visibility"],
                      ["case", "transip"]):
             args = build_parser().parse_args(
-                argv + ["--trace", "--metrics-out", "/tmp/m.json"])
+                argv + ["--trace", "--metrics-out", "/tmp/m.json",
+                        "--journal", "/tmp/j.jsonl", "--profile"])
             assert args.trace is True
             assert args.metrics_out == "/tmp/m.json"
+            assert args.journal == "/tmp/j.jsonl"
+            assert args.profile is True
 
 
 class TestCommands:
@@ -94,6 +97,35 @@ class TestTelemetryFlags:
         capsys.readouterr()
         with open(path) as fp:
             assert json.load(fp)["schema"] == SNAPSHOT_SCHEMA
+
+    def test_journal_flag_writes_a_complete_journal(self, tmp_path, capsys):
+        from repro.obs import read_journal
+
+        path = str(tmp_path / "run.jsonl")
+        assert main(["report", "--journal", path, "--profile"]
+                    + FAST_ARGS) == 0
+        captured = capsys.readouterr()
+        assert f"run journal written to {path}" in captured.err
+        records = read_journal(path)
+        types = [r["type"] for r in records]
+        assert types[0] == "journal.open"
+        assert types[-1] == "journal.close"
+        assert "run.start" in types and "run.finish" in types
+        # The CLI owns the journal, so the report's lazy analyses land
+        # in the same file after the pipeline phases.
+        finished = [r["phase"] for r in records
+                    if r["type"] == "phase.finish"]
+        assert "crawl" in finished
+        assert any(p.startswith("analysis.") for p in finished)
+
+    def test_journal_and_profile_stdout_byte_identical(self, tmp_path,
+                                                       capsys):
+        assert main(["report"] + FAST_ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(["report", "--journal", str(tmp_path / "j.jsonl"),
+                     "--profile"] + FAST_ARGS) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain
 
 
 class TestCacheFlags:
