@@ -1,0 +1,183 @@
+"""Query-service load bench: 100+ concurrent clients, p99 latency.
+
+Builds a one-week shard store, starts the asyncio HTTP server on an
+ephemeral port, and storms it with ``N_CLIENTS`` concurrent clients
+each issuing a fixed mixed workload (meta, top-N, slices, events,
+impact misses) over its own keep-alive connection. Latency is measured
+client-side per request.
+
+Asserted contract, not just numbers:
+
+- zero failed queries — every response parses and carries an expected
+  status (the workload includes deliberate 404s, so "failed" means a
+  transport error, a 5xx, or an unexpected status);
+- zero *unaccounted* queries — the server's
+  ``repro.serve.queries{endpoint,outcome}`` counters sum exactly to
+  the number of requests sent;
+- the whole storm is served from cached artifacts (the store is built
+  once, before the first connection).
+"""
+
+import asyncio
+import json
+import time
+
+from repro import WorldConfig
+from repro.obs import RunTelemetry
+from repro.serve import QueryServer, QueryService, ShardedStudyStore
+from repro.util.tables import Table
+
+#: concurrent client connections (the acceptance floor is >= 100).
+N_CLIENTS = 120
+#: requests issued per client.
+REQUESTS_PER_CLIENT = 8
+
+BENCH_WORLD = WorldConfig(seed=7, n_domains=700, attacks_per_month=400,
+                          start="2021-03-01", end_exclusive="2021-03-08")
+
+#: (target, expected statuses) — the mixed per-client workload.
+WORKLOAD = [
+    ("/healthz", {200}),
+    ("/v1/meta", {200}),
+    ("/v1/top?by=victims&n=5", {200}),
+    ("/v1/top?by=companies&n=5", {200}),
+    ("/v1/events?day=2021-03-02", {200}),
+    ("/v1/slices?nsset=1", {200, 404}),
+    ("/v1/impact?attack=203.0.113.9@99999&domain=nope.example", {404}),
+    ("/no-such-endpoint", {404}),
+]
+
+
+async def _client(port: int, client_id: int, latencies, failures):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for i in range(REQUESTS_PER_CLIENT):
+            target, expected = WORKLOAD[(client_id + i) % len(WORKLOAD)]
+            t0 = time.perf_counter()
+            writer.write(f"GET {target} HTTP/1.1\r\nHost: bench\r\n"
+                         "\r\n".encode())
+            await writer.drain()
+            status_line = await reader.readline()
+            length = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if line.lower().startswith(b"content-length"):
+                    length = int(line.split(b":")[1])
+            body = await reader.readexactly(length)
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+            status = int(status_line.split()[1])
+            if status not in expected:
+                failures.append((target, status))
+            json.loads(body)  # must always parse
+    except Exception as exc:  # pragma: no cover - failure accounting
+        failures.append((f"client-{client_id}", repr(exc)))
+    finally:
+        writer.close()
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def measure(cache_dir: str):
+    store = ShardedStudyStore(BENCH_WORLD, cache_dir)
+    t0 = time.perf_counter()
+    store.build()
+    build_s = time.perf_counter() - t0
+    telemetry = RunTelemetry.create()
+    service = QueryService(store, telemetry=telemetry)
+
+    latencies, failures = [], []
+
+    async def storm():
+        server = QueryServer(service, port=0)
+        await server.start()
+        try:
+            t0 = time.perf_counter()
+            await asyncio.gather(*[
+                _client(server.port, client_id, latencies, failures)
+                for client_id in range(N_CLIENTS)])
+            return time.perf_counter() - t0
+        finally:
+            await server.stop()
+
+    storm_s = asyncio.run(storm())
+    n_sent = N_CLIENTS * REQUESTS_PER_CLIENT
+    counters = telemetry.registry.snapshot()["counters"]
+    accounted = sum(value for key, value in counters.items()
+                    if key.startswith("repro.serve.queries{"))
+    errors = sum(value for key, value in counters.items()
+                 if key.startswith("repro.serve.queries{")
+                 and "outcome=error" in key)
+    latencies.sort()
+    return {
+        "build_s": build_s,
+        "storm_s": storm_s,
+        "n_clients": N_CLIENTS,
+        "n_queries": n_sent,
+        "qps": n_sent / storm_s if storm_s else float("inf"),
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "max_ms": latencies[-1],
+        "failures": failures,
+        "accounted": accounted,
+        "server_errors": errors,
+    }
+
+
+def render(result):
+    table = Table(
+        ["metric", "value"],
+        title=f"Query service under {result['n_clients']} concurrent "
+              f"clients ({result['n_queries']} queries)")
+    table.add_row(["store build (s)", f"{result['build_s']:.2f}"])
+    table.add_row(["storm wall (s)", f"{result['storm_s']:.2f}"])
+    table.add_row(["throughput (q/s)", f"{result['qps']:.0f}"])
+    table.add_row(["p50 latency (ms)", f"{result['p50_ms']:.2f}"])
+    table.add_row(["p99 latency (ms)", f"{result['p99_ms']:.2f}"])
+    table.add_row(["max latency (ms)", f"{result['max_ms']:.2f}"])
+    table.add_row(["failed queries", len(result["failures"])])
+    table.add_row(["unaccounted queries",
+                   result["n_queries"] - result["accounted"]])
+    return table.render()
+
+
+def test_query_service_storm(tmp_path_factory, emit, emit_json):
+    cache_dir = str(tmp_path_factory.mktemp("bench-serve"))
+    result = measure(cache_dir)
+    emit("query_service", render(result))
+    emit_json("query_service", {
+        "build_s": result["build_s"],
+        "storm_s": result["storm_s"],
+        "qps": result["qps"],
+        "p50_ms": result["p50_ms"],
+        "p99_ms": result["p99_ms"],
+        "n_clients": result["n_clients"],
+        "n_queries": result["n_queries"],
+        "failures": len(result["failures"]),
+    })
+
+    assert result["n_clients"] >= 100
+    assert not result["failures"], result["failures"][:5]
+    assert result["server_errors"] == 0
+    assert result["accounted"] == result["n_queries"]
+    assert result["p99_ms"] > 0
+
+
+if __name__ == "__main__":  # standalone run
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        result = measure(cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    print(render(result))
+    ok = (not result["failures"]
+          and result["accounted"] == result["n_queries"])
+    raise SystemExit(0 if ok else 1)

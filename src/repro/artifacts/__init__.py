@@ -25,10 +25,11 @@ cached. See ``docs/caching.md`` for the layout and invalidation rules.
 
 from repro.artifacts.cache import PhaseCache
 from repro.artifacts.fingerprint import (PHASES, SCHEMA_VERSIONS,
-                                         config_fingerprint, phase_key,
-                                         study_keys)
-from repro.artifacts.serializers import (PHASE_SERIALIZERS, dumps_events,
-                                         dumps_feed, dumps_join, dumps_store,
+                                         catalog_key, config_fingerprint,
+                                         day_keys, phase_key, study_keys)
+from repro.artifacts.serializers import (PHASE_SERIALIZERS, dumps_catalog,
+                                         dumps_events, dumps_feed, dumps_join,
+                                         dumps_store, loads_catalog,
                                          loads_events, loads_feed, loads_join,
                                          loads_store)
 from repro.artifacts.store import ArtifactEntry, ArtifactStore
@@ -43,8 +44,11 @@ __all__ = [
     "config_fingerprint",
     "phase_key",
     "study_keys",
+    "day_keys",
+    "catalog_key",
     "dumps_feed", "loads_feed",
     "dumps_store", "loads_store",
     "dumps_join", "loads_join",
     "dumps_events", "loads_events",
+    "dumps_catalog", "loads_catalog",
 ]

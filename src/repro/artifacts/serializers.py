@@ -35,6 +35,7 @@ __all__ = [
     "dumps_store", "loads_store",
     "dumps_join", "loads_join",
     "dumps_events", "loads_events",
+    "dumps_catalog", "loads_catalog",
     "PHASE_SERIALIZERS",
 ]
 
@@ -303,6 +304,26 @@ def loads_events(data: bytes) -> List[AttackEvent]:
                         info=_info_from(item["info"]),
                         series=_series_from(item["series"]))
             for item in doc["events"]]
+
+
+# -- serve layer: the domain->NSSet catalog -----------------------------------
+
+_CATALOG_SCHEMA = "repro.artifacts.catalog/v1"
+
+
+def dumps_catalog(catalog: Dict) -> bytes:
+    """Serialize the serve layer's catalog (a plain JSON-able dict).
+
+    Deliberately *not* registered in :data:`PHASE_SERIALIZERS`: the
+    catalog is not a pipeline phase artifact — the serve store reads
+    and writes it against the :class:`ArtifactStore` directly.
+    """
+    return _dumps({"schema": _CATALOG_SCHEMA, "catalog": catalog})
+
+
+def loads_catalog(data: bytes) -> Dict:
+    """Deserialize :func:`dumps_catalog` output."""
+    return _loads(data, _CATALOG_SCHEMA)["catalog"]
 
 
 #: phase name -> (dumps, loads), for the pipeline's cache boundary.

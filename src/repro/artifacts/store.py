@@ -74,13 +74,15 @@ class ArtifactStore:
         return os.path.join(self.root, _INDEX)
 
     @contextmanager
-    def _lock(self) -> Iterator[None]:
-        """Advisory exclusive lock over manifest updates."""
+    def _lock(self, shared: bool = False) -> Iterator[None]:
+        """Advisory lock over manifest access: exclusive for writers,
+        shared (``LOCK_SH``) for read-only paths, so concurrent readers
+        never serialize behind each other — only behind a writer."""
         path = os.path.join(self.root, _LOCK)
         fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
         try:
             if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+                fcntl.flock(fd, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
             yield
         finally:
             if fcntl is not None:
@@ -115,12 +117,25 @@ class ArtifactStore:
         return key in self._read_index() and os.path.exists(
             self._blob_path(key))
 
-    def get(self, key: str) -> Optional[bytes]:
+    def get(self, key: str, touch: bool = True) -> Optional[bytes]:
         """The blob for ``key``, or ``None`` on a miss.
 
         A hit stamps the entry's ``last_used``; a manifest entry whose
         blob vanished (or vice versa) is treated as a miss and dropped.
+        ``touch=False`` is a pure read: it takes only the shared lock,
+        never rewrites the manifest, and leaves LRU state untouched —
+        the path concurrent readers (the serve layer) use while a
+        writer may be racing them.
         """
+        if not touch:
+            with self._lock(shared=True):
+                if key not in self._read_index():
+                    return None
+                try:
+                    with open(self._blob_path(key), "rb") as fp:
+                        return fp.read()
+                except OSError:
+                    return None
         with self._lock():
             entries = self._read_index()
             meta = entries.get(key)

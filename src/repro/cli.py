@@ -29,6 +29,15 @@ Subcommands:
     compares two snapshots, ``bench-diff`` compares fresh
     ``BENCH_*.json`` benchmark results against the committed
     baselines and flags regressions.
+``serve``
+    Build (or incrementally refresh) a day-sharded measurement store
+    in an artifact cache and serve study queries over HTTP/JSON
+    (:mod:`repro.serve`): impact of an attack on a domain, per-NSSet
+    time slices, top-N tables, event lookups. ``--build-only`` stops
+    after the incremental build; ``--plan`` prints the per-day
+    compute/reuse plan as JSON without running anything;
+    ``--edit-day``/``--edit-scale`` rescale one day's attacks to
+    demonstrate single-day invalidation.
 ``reactive``
     Drive the production-rate reactive platform
     (:mod:`repro.reactive`) over a synthetic trigger storm: admission
@@ -285,13 +294,32 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 2
     store = ArtifactStore(args.cache_dir)
     if args.action == "ls":
-        entries = store.entries()
-        table = Table(["key", "phase", "size (B)", "created", "last used"],
+        # Stable listing order (by key) so two `ls` runs over the same
+        # cache are byte-identical regardless of manifest insert order.
+        entries = sorted(store.entries(), key=lambda e: e.key)
+        if getattr(args, "json", False):
+            import json
+
+            print(json.dumps({
+                "dir": args.cache_dir,
+                "n_entries": len(entries),
+                "total_bytes": store.total_bytes,
+                "entries": [
+                    {"key": entry.key, "phase": entry.phase or None,
+                     "size": entry.size, "created": entry.created,
+                     "last_used": entry.last_used}
+                    for entry in entries
+                ],
+            }, sort_keys=True, indent=2))
+            return 0
+        table = Table(["key", "phase", "size (B)", "size", "created",
+                       "last used"],
                       title=f"Artifact cache {args.cache_dir} "
                             f"({len(entries)} entries, "
                             f"{store.total_bytes} bytes)")
         for entry in entries:
             table.add_row([entry.key[:16], entry.phase or "-", entry.size,
+                           _format_size(entry.size),
                            _format_ts(entry.created),
                            _format_ts(entry.last_used)])
         print(table.render())
@@ -393,6 +421,70 @@ def _format_ts(ts: float) -> str:
     return datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
 
 
+def _format_size(n: int) -> str:
+    """``n`` bytes, human-readable (1536 -> ``1.5 KiB``)."""
+    if n < 1024:
+        return f"{n} B"
+    value = float(n)
+    for unit in ("KiB", "MiB", "GiB"):
+        value /= 1024.0
+        if value < 1024:
+            return f"{value:.1f} {unit}"
+    return f"{value / 1024.0:.1f} TiB"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import (
+        QueryService,
+        ShardedStudyStore,
+        run_server,
+        scale_attacks_on_day,
+    )
+    from repro.util.timeutil import parse_ts
+
+    if not args.cache_dir:
+        print("serve requires --cache-dir", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    telemetry = _telemetry_from(args)
+    if telemetry is NULL_TELEMETRY:
+        # /metrics is the server's own observability surface: it must be
+        # live even when no --metrics-out/--trace flag was passed.
+        telemetry = RunTelemetry.create()
+    edit = None
+    if args.edit_day:
+        day = parse_ts(args.edit_day)
+        factor = args.edit_scale
+
+        def edit(attacks):
+            return scale_attacks_on_day(attacks, day, factor)
+
+    store = ShardedStudyStore(config, args.cache_dir, telemetry=telemetry,
+                              n_workers=args.workers, edit=edit)
+    if args.plan:
+        print(json.dumps([plan.to_doc() for plan in store.plan()],
+                         sort_keys=True, indent=2))
+        _emit_telemetry(args, telemetry)
+        return 0
+    clock = telemetry.clock
+    t0 = clock.now()
+    print(f"building shard store in {args.cache_dir} "
+          f"({config.start} .. {config.end_exclusive}, "
+          f"{config.n_domains} domains)...", file=sys.stderr)
+    report = store.build()
+    print(f"built in {clock.now() - t0:.1f}s", file=sys.stderr)
+    print(report.summary())
+    if args.build_only:
+        _emit_telemetry(args, telemetry)
+        return 0
+    service = QueryService(store, telemetry=telemetry)
+    run_server(service, host=args.host, port=args.port)
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -430,7 +522,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
                          help="gc: evict least-recently-used entries until "
                               "the cache fits N bytes")
+    p_cache.add_argument("--json", action="store_true",
+                         help="ls: print the listing as JSON (full keys, "
+                              "sorted, machine-readable)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve study queries from a sharded measurement store")
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument("--domains", type=int, default=2000,
+                         help="registered domains (default 2000)")
+    p_serve.add_argument("--attacks-per-month", type=int, default=400)
+    p_serve.add_argument("--start", default="2021-03-01")
+    p_serve.add_argument("--end", default="2021-04-01",
+                         help="end date, exclusive")
+    p_serve.add_argument("--cache-dir", metavar="PATH", required=True,
+                         help="the shard store: day-partitioned phase "
+                              "outputs cached under PATH by per-day "
+                              "fingerprint keys; rebuilds recompute only "
+                              "days whose inputs changed")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="crawl each day's partition with N processes "
+                              "(default 1 = serial)")
+    p_serve.add_argument("--build-only", action="store_true",
+                         help="build/refresh the shard store and exit "
+                              "without starting the HTTP server")
+    p_serve.add_argument("--plan", action="store_true",
+                         help="print the per-day compute/reuse plan as "
+                              "JSON and exit without running anything")
+    p_serve.add_argument("--edit-day", metavar="DATE", default=None,
+                         help="rescale the attacks starting on DATE "
+                              "(YYYY-MM-DD) before building, to exercise "
+                              "single-day invalidation")
+    p_serve.add_argument("--edit-scale", type=float, default=2.0,
+                         metavar="FACTOR",
+                         help="pps factor applied by --edit-day "
+                              "(default 2.0)")
+    _add_obs_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_reactive = sub.add_parser(
         "reactive",

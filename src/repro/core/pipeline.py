@@ -128,11 +128,21 @@ def _build_configured_world(ctx: RunContext) -> World:
 
 def _observe_telescope(ctx: RunContext, world: World) -> RSDoSFeed:
     darknet = Darknet()
+    # Slice-ability hooks for the serve layer (repro.serve): observe a
+    # subset of the schedule on a caller-derived RNG. Absent, the
+    # defaults reproduce the monolithic study byte-for-byte.
+    attacks = ctx.params.get("attacks")
+    if attacks is None:
+        attacks = world.attacks
+    rng = ctx.params.get("telescope_rng")
+    if rng is None:
+        rng = world.rngs.stream("telescope")
     simulator = BackscatterSimulator(
-        darknet, world.rngs.stream("telescope"),
+        darknet, rng,
         link_util_fn=_link_util_fn(world),
-        headroom=ctx.params["config"].headroom)
-    return RSDoSFeed.observe(world.attacks, simulator,
+        headroom=ctx.params["config"].headroom,
+        jitter_seed=ctx.params.get("telescope_jitter_seed"))
+    return RSDoSFeed.observe(attacks, simulator,
                              columnar=ctx.params.get("columnar", False),
                              registry=ctx.telemetry.registry)
 
@@ -146,7 +156,11 @@ def _run_crawl(ctx: RunContext, world: World) -> MeasurementStore:
                                  columnar=ctx.params.get("columnar", False))
     if injector is not None:
         injector.wrap_store_ingest(platform.store)
+    # The serve layer crawls one day-partition at a time; a full-range
+    # crawl (the default) is unchanged.
+    start, end = ctx.params.get("crawl_window") or (None, None)
     store = platform.run_parallel(ctx.params.get("n_workers", 1),
+                                  start=start, end=end,
                                   progress=ctx.params.get("progress"))
     if platform.stats is not None:
         platform.stats.publish(ctx.telemetry.registry)

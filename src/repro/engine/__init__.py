@@ -42,9 +42,12 @@ from repro.engine.graph import (
     UnknownInputError,
 )
 from repro.engine.phase import Phase
+from repro.engine.plan import PhasePlan, partial_plan
 
 __all__ = [
     "Phase",
+    "PhasePlan",
+    "partial_plan",
     "PhaseGraph",
     "PhaseGraphError",
     "DuplicateNodeError",

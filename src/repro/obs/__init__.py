@@ -37,6 +37,7 @@ from repro.obs.profile import PhaseProfiler
 from repro.obs.registry import (
     DEFAULT_BUCKETS_MS,
     NULL_REGISTRY,
+    QUERY_BUCKETS_MS,
     BufferedRegistry,
     Counter,
     Gauge,
@@ -66,6 +67,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS_MS",
+    "QUERY_BUCKETS_MS",
     "Span",
     "Tracer",
     "NullTracer",

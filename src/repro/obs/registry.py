@@ -34,12 +34,20 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS_MS",
+    "QUERY_BUCKETS_MS",
 ]
 
 #: Default histogram bounds (milliseconds): spans DNS RTTs from LAN-fast
 #: to multi-second timeouts.
 DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
     1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+#: Histogram bounds (milliseconds) for serve-layer query latencies:
+#: finer at the sub-millisecond end, where warm cache-backed queries
+#: live, than the DNS-RTT default.
+QUERY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0)
 
 #: (sorted label items) — the second half of a metric's identity key.
 Labels = Tuple[Tuple[str, str], ...]

@@ -1,0 +1,42 @@
+"""repro.serve — a query service over a sharded measurement store.
+
+``run_study`` answers a question by recomputing the world; this package
+answers questions from what is already on disk. Three layers:
+
+- :class:`ShardedStudyStore` (:mod:`repro.serve.store`) partitions the
+  study by UTC day and persists each (day, phase) partition through the
+  artifact cache under per-day fingerprint keys
+  (:func:`repro.artifacts.day_keys`), so editing one day's attack
+  schedule dirties only that day's chain of keys;
+- :class:`QueryService` (:mod:`repro.serve.service`) maps request
+  targets (impact-of-attack-on-domain, per-NSSet time slices, top-N
+  tables, event lookups) to JSON answers read purely from cached
+  partitions, with exact per-query outcome accounting and latency
+  histograms;
+- :class:`QueryServer` (:mod:`repro.serve.api`) is the stdlib asyncio
+  HTTP/1.1 shell exposed as ``python -m repro serve``.
+
+See ``docs/serving.md`` for the end-to-end walkthrough.
+"""
+
+from repro.serve.api import QueryServer, run_server
+from repro.serve.service import QueryService, ServeResponse
+from repro.serve.store import (
+    SERVE_PHASES,
+    BuildReport,
+    DayPlan,
+    ShardedStudyStore,
+    scale_attacks_on_day,
+)
+
+__all__ = [
+    "SERVE_PHASES",
+    "ShardedStudyStore",
+    "DayPlan",
+    "BuildReport",
+    "scale_attacks_on_day",
+    "QueryService",
+    "ServeResponse",
+    "QueryServer",
+    "run_server",
+]

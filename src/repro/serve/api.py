@@ -1,0 +1,150 @@
+"""The HTTP/JSON front end of ``repro serve``.
+
+A deliberately small HTTP/1.1 server over ``asyncio.start_server`` —
+stdlib only, GET only, no TLS — whose single job is to move request
+targets into :meth:`QueryService.handle` and responses back out.
+Queries execute synchronously *in the event loop*: the service reads
+pre-computed artifacts (dict lookups plus an occasional shard load),
+so queries are short, and single-threaded execution is what makes the
+``repro.serve.queries`` outcome accounting exact without locks.
+
+``QueryServer`` binds lazily (``port=0`` picks a free port, exposed as
+``.port``) so tests and the benchmark can run servers concurrently
+without coordinating port numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.serve.service import QueryService
+
+__all__ = ["QueryServer", "run_server"]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 64
+
+
+class QueryServer:
+    """Asyncio HTTP server wrapping one :class:`QueryService`."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection idle: close quietly.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> bool:
+        request_line = await reader.readline()
+        if not request_line:
+            return False
+        if len(request_line) > _MAX_REQUEST_LINE:
+            await self._write_raw(writer, 431, b'{"error":"request_too_large"}\n')
+            return False
+        try:
+            method, target, version = request_line.decode(
+                "latin-1").strip().split(" ", 2)
+        except ValueError:
+            await self._write_raw(writer, 400, b'{"error":"malformed_request"}\n')
+            return False
+
+        # Drain the headers; only Connection matters to us (GET, no body).
+        connection = ""
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "connection":
+                connection = value.strip().lower()
+
+        response = self.service.handle(target, method=method)
+        keep_alive = connection != "close" and version != "HTTP/1.0"
+        await self._write_response(writer, response, keep_alive)
+        return keep_alive
+
+    async def _write_response(self, writer, response, keep_alive: bool) -> None:
+        body = response.to_bytes()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(response.status, "OK")
+        head = [f"HTTP/1.1 {response.status} {reason}",
+                f"Content-Type: {response.content_type}",
+                f"Content-Length: {len(body)}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        head.extend(f"{name}: {value}" for name, value in response.headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _write_raw(self, writer, status: int, body: bytes) -> None:
+        writer.write((f"HTTP/1.1 {status} Bad Request\r\n"
+                      "Content-Type: application/json\r\n"
+                      f"Content-Length: {len(body)}\r\n"
+                      "Connection: close\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+def run_server(service: QueryService, host: str = "127.0.0.1",
+               port: int = 8080) -> None:
+    """Serve until interrupted (the blocking CLI entry point)."""
+    server = QueryServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        await server.start()
+        print(f"repro serve: listening on http://{server.host}:{server.port}",
+              flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -202,6 +202,17 @@ class World:
         self._build_vantage_sites()
         self._build_dense_days()
 
+    def replace_attacks(self, attacks: Iterable[Attack]) -> None:
+        """Swap in an edited attack schedule and rebuild every derived
+        structure (index, weights, dense days) — the serve layer's
+        what-if edit hook. The schedule is re-sorted into the canonical
+        ``(start, victim_ip)`` order the generator produces."""
+        self.attacks = sorted(attacks,
+                              key=lambda a: (a.window.start, a.victim_ip))
+        self._attack_weights.clear()
+        self._dense_days.clear()
+        self.finalize_attacks()
+
     def _weights_of(self, attack: Attack) -> Tuple[float, float, float]:
         """(server-cost fraction, app-layer fraction, mean bits/packet)
         of an attack's aggregate rate."""

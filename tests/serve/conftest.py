@@ -1,0 +1,42 @@
+"""Shared serve fixtures: one small built shard store per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorldConfig
+from repro.serve import QueryService, ShardedStudyStore
+
+SERVE_CONFIG = dict(seed=7, n_domains=700, attacks_per_month=400,
+                    start="2021-03-01", end_exclusive="2021-03-08")
+
+
+@pytest.fixture(scope="session")
+def serve_config() -> WorldConfig:
+    return WorldConfig(**SERVE_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def built_store(serve_config, tmp_path_factory):
+    """A cold-built store over a session-lifetime cache directory."""
+    cache_dir = str(tmp_path_factory.mktemp("shards"))
+    store = ShardedStudyStore(serve_config, cache_dir)
+    store.build()
+    return store
+
+
+@pytest.fixture(scope="session")
+def service(built_store) -> QueryService:
+    return QueryService(built_store)
+
+
+@pytest.fixture(scope="session")
+def an_event(built_store):
+    """Some attack event from the built store (the config guarantees a
+    few), for impact-endpoint tests."""
+    for day in built_store.days():
+        events = built_store.load_day(day, "events")
+        if events:
+            return events[0]
+    raise AssertionError("serve test config produced no events; "
+                         "raise attacks_per_month")

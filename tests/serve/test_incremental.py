@@ -1,0 +1,129 @@
+"""Editing one day's attack schedule invalidates only that day's
+chained keys: bounded recompute, byte-identical untouched artifacts."""
+
+import pytest
+
+from repro import WorldConfig
+from repro.artifacts import ArtifactStore, day_keys
+from repro.serve import SERVE_PHASES, ShardedStudyStore, scale_attacks_on_day
+from repro.util.timeutil import parse_ts
+
+SMALL = dict(seed=11, n_domains=300, attacks_per_month=150,
+             start="2021-03-01", end_exclusive="2021-03-08")
+EDIT_DAY = "2021-03-04"
+
+
+@pytest.fixture()
+def config() -> WorldConfig:
+    return WorldConfig(**SMALL)
+
+
+def edit(attacks):
+    return scale_attacks_on_day(attacks, parse_ts(EDIT_DAY), 3.0)
+
+
+def changed_days(config, attacks):
+    """Per phase, the set of days whose fingerprint key changes under
+    the edit — derived purely from the key map, no pipeline run."""
+    before = day_keys(config, attacks)
+    after = day_keys(config, edit(list(attacks)))
+    assert set(before) == set(after)
+    out = {phase: set() for phase in SERVE_PHASES}
+    for day in before:
+        for phase in SERVE_PHASES:
+            if before[day][phase] != after[day][phase]:
+                out[phase].add(day)
+    return out
+
+
+class TestKeyInvalidation:
+    def test_edit_changes_some_keys_not_all(self, config, tmp_path):
+        store = ShardedStudyStore(config, str(tmp_path))
+        changed = changed_days(config, store.world().attacks)
+        edit_day = parse_ts(EDIT_DAY)
+        all_days = set(store.days())
+        for phase in SERVE_PHASES:
+            # The edited day itself is always dirtied...
+            assert edit_day in changed[phase]
+            # ...but far-away days never are.
+            assert changed[phase] != all_days
+
+    def test_scaling_by_one_changes_nothing(self, config, tmp_path):
+        store = ShardedStudyStore(config, str(tmp_path))
+        attacks = store.world().attacks
+        before = day_keys(config, attacks)
+        after = day_keys(config, scale_attacks_on_day(
+            list(attacks), parse_ts(EDIT_DAY), 1.0))
+        assert before == after
+
+    def test_different_edit_days_dirty_different_keys(self, config,
+                                                      tmp_path):
+        store = ShardedStudyStore(config, str(tmp_path))
+        attacks = store.world().attacks
+        base = day_keys(config, attacks)
+        a = day_keys(config, scale_attacks_on_day(
+            list(attacks), parse_ts("2021-03-02"), 3.0))
+        b = day_keys(config, scale_attacks_on_day(
+            list(attacks), parse_ts("2021-03-06"), 3.0))
+        dirty_a = {d for d in base if a[d] != base[d]}
+        dirty_b = {d for d in base if b[d] != base[d]}
+        assert dirty_a != dirty_b
+
+
+class TestIncrementalRebuild:
+    def test_rebuild_recomputes_exactly_the_changed_days(self, config,
+                                                         tmp_path):
+        cold = ShardedStudyStore(config, str(tmp_path))
+        cold.build()
+        changed = changed_days(config, cold.world().attacks)
+        report = ShardedStudyStore(config, str(tmp_path),
+                                   edit=edit).build()
+        for phase in SERVE_PHASES:
+            assert set(report.computed[phase]) == changed[phase], phase
+            assert set(report.reused[phase]) == \
+                set(cold.days()) - changed[phase], phase
+
+    def test_untouched_days_are_byte_identical(self, config, tmp_path):
+        """A from-scratch build of the edited schedule produces the
+        same bytes as the original build for every unchanged key."""
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        store_a = ShardedStudyStore(config, dir_a)
+        store_a.build()
+        ShardedStudyStore(config, dir_b, edit=edit).build()
+        keys_before = day_keys(config, store_a.world().attacks)
+        changed = changed_days(config, store_a.world().attacks)
+        raw_a = ArtifactStore(dir_a)
+        raw_b = ArtifactStore(dir_b)
+        n_compared = 0
+        for day, keys in keys_before.items():
+            for phase in SERVE_PHASES:
+                if day in changed[phase]:
+                    continue
+                blob_a = raw_a.get(keys[phase], touch=False)
+                blob_b = raw_b.get(keys[phase], touch=False)
+                assert blob_a is not None and blob_a == blob_b, \
+                    (phase, day)
+                n_compared += 1
+        assert n_compared > 0
+
+    def test_edited_day_artifacts_differ(self, config, tmp_path):
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        store_a = ShardedStudyStore(config, dir_a)
+        store_a.build()
+        store_b = ShardedStudyStore(config, dir_b, edit=edit)
+        store_b.build()
+        day = parse_ts(EDIT_DAY)
+        key_a = store_a.day_keys()[day]["telescope"]
+        key_b = store_b.day_keys()[day]["telescope"]
+        assert key_a != key_b
+        assert ArtifactStore(dir_a).get(key_a, touch=False) != \
+            ArtifactStore(dir_b).get(key_b, touch=False)
+
+    def test_second_edited_rebuild_is_fully_warm(self, config, tmp_path):
+        ShardedStudyStore(config, str(tmp_path)).build()
+        ShardedStudyStore(config, str(tmp_path), edit=edit).build()
+        report = ShardedStudyStore(config, str(tmp_path),
+                                   edit=edit).build()
+        assert report.n_computed == 0

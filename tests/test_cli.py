@@ -193,8 +193,110 @@ class TestCacheFlags:
         assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
         assert "--max-bytes" in capsys.readouterr().err
 
+    def test_cache_ls_sorted_and_human_sizes(self, tmp_path, capsys):
+        from repro.artifacts.store import ArtifactStore
 
-class TestGraphCommand:
+        cache_dir = str(tmp_path / "cache")
+        store = ArtifactStore(cache_dir)
+        # Insert out of key order; ls must list in key order.
+        store.put("cc" * 32, b"z" * 2048, phase="join")
+        store.put("aa" * 32, b"x" * 30, phase="telescope")
+
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.index("aa" * 8) < out.index("cc" * 8)
+        assert "2.0 KiB" in out
+        assert "30 B" in out
+
+    def test_cache_ls_is_deterministic(self, tmp_path, capsys):
+        from repro.artifacts.store import ArtifactStore
+
+        cache_dir = str(tmp_path / "cache")
+        store = ArtifactStore(cache_dir)
+        store.put("bb" * 32, b"y", phase="crawl")
+        store.put("aa" * 32, b"x", phase="telescope")
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cache_ls_json(self, tmp_path, capsys):
+        from repro.artifacts.store import ArtifactStore
+
+        cache_dir = str(tmp_path / "cache")
+        store = ArtifactStore(cache_dir)
+        store.put("bb" * 32, b"y" * 10, phase="crawl")
+        store.put("aa" * 32, b"x" * 30, phase="telescope")
+
+        assert main(["cache", "ls", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_entries"] == 2
+        assert doc["total_bytes"] == 40
+        assert [e["key"] for e in doc["entries"]] == \
+            ["aa" * 32, "bb" * 32]
+        assert doc["entries"][0]["phase"] == "telescope"
+        assert doc["entries"][0]["size"] == 30
+
+
+class TestServeCommand:
+    SERVE_ARGS = ["--seed", "11", "--domains", "300",
+                  "--attacks-per-month", "150",
+                  "--start", "2021-03-01", "--end", "2021-03-03"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "/tmp/s"])
+        assert args.cache_dir == "/tmp/s"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.build_only is False
+        assert args.plan is False
+        assert args.edit_scale == 2.0
+
+    def test_cache_dir_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_plan_prints_deterministic_json(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "shards")
+        argv = ["serve", "--plan", "--cache-dir", cache_dir]
+        assert main(argv + self.SERVE_ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(argv + self.SERVE_ARGS) == 0
+        assert capsys.readouterr().out == first
+        plan = json.loads(first)
+        assert [d["day"] for d in plan] == ["2021-03-01", "2021-03-02"]
+        assert all(set(d["actions"].values()) == {"compute"}
+                   for d in plan)
+
+    def test_build_only_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "shards")
+        argv = ["serve", "--build-only", "--cache-dir", cache_dir]
+        assert main(argv + self.SERVE_ARGS) == 0
+        cold = capsys.readouterr().out
+        assert "(8 partitions computed, 0 reused)" in cold
+        assert main(argv + self.SERVE_ARGS) == 0
+        warm = capsys.readouterr().out
+        assert warm.count("computed 0") == 4
+        # A third run is byte-identical to the second.
+        assert main(argv + self.SERVE_ARGS) == 0
+        assert capsys.readouterr().out == warm
+
+    def test_edit_day_recomputes_a_bounded_subset(self, tmp_path,
+                                                  capsys):
+        cache_dir = str(tmp_path / "shards")
+        argv = ["serve", "--build-only", "--cache-dir", cache_dir]
+        assert main(argv + self.SERVE_ARGS) == 0
+        capsys.readouterr()
+        assert main(argv + self.SERVE_ARGS
+                    + ["--edit-day", "2021-03-02",
+                       "--edit-scale", "3.0"]) == 0
+        out = capsys.readouterr().out
+        # Something recomputed, something reused: the edit must not
+        # flush the whole store.
+        assert "0 reused)" not in out
+        assert "(0 partitions computed" not in out
     """``repro graph`` prints the declared DAG: every phase exactly
     once, edges matching the declared inputs."""
 
