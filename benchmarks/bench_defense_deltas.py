@@ -1,0 +1,69 @@
+"""Defense pack: per-attack impact deltas under layered mitigations.
+
+"Defending Root DNS Servers Against DDoS Using Layered Defenses"
+(PAPERS.md) evaluates filtering, capacity surge, and anycast scale-out
+against real attack traces. The bench runs the defense pack's
+counterfactual node over a study schedule and reports, per mitigation
+layer, the mean Equation-1 impact, the mean delta against the
+unmitigated baseline, and the share of harmful attacks each layer
+neutralizes — through the *unmodified* impact pipeline.
+"""
+
+import dataclasses
+
+from repro import WorldConfig, run_study
+from repro.util.tables import Table, format_pct
+
+DEF_CONFIG = dataclasses.replace(
+    WorldConfig(
+        seed=37, start="2021-03-01", end_exclusive="2021-05-01",
+        n_domains=900, n_selfhosted_providers=24, n_filler_providers=10,
+        attacks_per_month=120),
+    scenario_pack="defense")
+
+
+def regenerate():
+    study = run_study(DEF_CONFIG)
+    return study, study.counterfactuals
+
+
+def test_defense_deltas(benchmark, emit, emit_json):
+    study, report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    harmful = report.harmful_rows()
+
+    table = Table(["layer", "mean impact", "mean delta", "neutralized"],
+                  title=f"Layered-defense counterfactuals "
+                        f"({report.n_attacks} attacks, "
+                        f"{len(harmful)} harmful, baseline "
+                        f"{report.mean_impact():.1f}x)")
+    for layer in report.layers:
+        table.add_row([
+            layer.name,
+            f"{report.mean_impact(layer.name):.1f}x",
+            f"{report.mean_delta(layer.name):.1f}",
+            format_pct(report.neutralized_share(layer.name))])
+    table.caption = f"best single lever by mean delta: {report.best_layer()}"
+    emit("defense_deltas", table.render())
+
+    values = {
+        "n_attacks": report.n_attacks,
+        "n_harmful": len(harmful),
+        "baseline_mean_impact": round(report.mean_impact(), 2),
+    }
+    for layer in report.layers:
+        key = layer.name.replace("-", "_")
+        values[f"{key}_mean_delta"] = round(report.mean_delta(layer.name), 2)
+        values[f"{key}_neutralized"] = round(
+            report.neutralized_share(layer.name), 4)
+    emit_json("defense_deltas", values)
+
+    assert report.n_attacks > 0 and harmful
+    # Every layer helps; the layered combination dominates each single
+    # lever and neutralizes the majority of harmful attacks.
+    for layer in report.layers:
+        assert report.mean_delta(layer.name) >= 0
+        assert report.mean_impact(layer.name) <= report.mean_impact()
+    single = [l.name for l in report.layers if l.name != "layered"]
+    assert all(report.mean_delta("layered")
+               >= report.mean_delta(name) - 1e-9 for name in single)
+    assert report.neutralized_share("layered") >= 0.5

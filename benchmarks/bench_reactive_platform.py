@@ -19,7 +19,7 @@ def regenerate(study):
     return platform, store
 
 
-def test_reactive_platform(benchmark, transip_study, emit):
+def test_reactive_platform(benchmark, transip_study, emit, emit_json):
     platform, store = benchmark.pedantic(regenerate, args=(transip_study,),
                                          rounds=1, iterations=1)
 
@@ -46,6 +46,14 @@ def test_reactive_platform(benchmark, transip_study, emit):
     ]:
         table.add_row(row)
     emit("reactive_platform", table.render())
+    emit_json("reactive_platform", {
+        "campaigns": len(platform.campaigns),
+        "max_trigger_delay_s": max(delays),
+        "post_attack_tail_s": max(tails),
+        "probes": len(store.probes),
+        "max_probes_per_window": max(per_bucket.values()),
+        "distinct_offsets": len(spacings),
+    })
 
     assert platform.campaigns
     assert max(delays) <= 10 * MINUTE

@@ -44,7 +44,7 @@ from repro.obs import MetricsRegistry, RunTelemetry
 from repro.world.config import WorldConfig
 from repro.world.simulation import World, build_world
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Study",

@@ -153,6 +153,7 @@ def canonical_attack(attack) -> List:
     different processes (or orders) would otherwise fingerprint apart.
     """
     imp = attack.impairment
+    amp = getattr(attack, "amplification", None)
     return [
         attack.victim_ip,
         attack.window.start,
@@ -163,6 +164,9 @@ def canonical_attack(attack) -> List:
          imp.scrub_efficiency, imp.blackout_start, imp.blackout_s],
         [[v.proto, list(v.ports), v.pps, v.spoofing.value, v.packet_bytes]
          for v in attack.vectors],
+        None if amp is None else
+        [amp.n_amplifiers, amp.mean_baf, amp.query_pps,
+         amp.list_darknet_share, amp.qtype],
     ]
 
 

@@ -8,6 +8,7 @@ from randomly-spoofed vectors.
 """
 
 from repro.attacks.model import (
+    AmplificationProfile,
     Attack,
     AttackVector,
     Campaign,
@@ -21,8 +22,20 @@ from repro.attacks.generator import (
     TargetCatalog,
     generate_schedule,
 )
+from repro.attacks.packs import (
+    DEFAULT_PACK,
+    ScenarioPack,
+    TelescopeSignature,
+    UnknownPackError,
+    VolumetricPack,
+    available_packs,
+    get_pack,
+    register_pack,
+    validate_pack_name,
+)
 
 __all__ = [
+    "AmplificationProfile",
     "Attack",
     "AttackVector",
     "Campaign",
@@ -33,4 +46,13 @@ __all__ = [
     "HotTarget",
     "TargetCatalog",
     "generate_schedule",
+    "DEFAULT_PACK",
+    "ScenarioPack",
+    "TelescopeSignature",
+    "UnknownPackError",
+    "VolumetricPack",
+    "available_packs",
+    "get_pack",
+    "register_pack",
+    "validate_pack_name",
 ]

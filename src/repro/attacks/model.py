@@ -32,10 +32,21 @@ class Spoofing(enum.Enum):
     RANDOM = "random"        # randomly/uniformly spoofed — telescope-visible
     REFLECTED = "reflected"  # spoofed-as-victim via reflectors — invisible
     UNSPOOFED = "unspoofed"  # direct from botnet — invisible
+    AMPLIFIED = "amplified"  # spoofed-as-victim via DNS amplifiers —
+    #                          no backscatter, but the darknet sees
+    #                          reflector queries (stale amplifier lists)
 
     @property
     def telescope_visible(self) -> bool:
+        """Visible to the darknet as victim *backscatter*."""
         return self is Spoofing.RANDOM
+
+    @property
+    def reflector_visible(self) -> bool:
+        """Visible to the darknet as *reflector queries*: the attacker
+        sprays its amplifier list with queries spoofed as the victim,
+        and the stale share of that list falls inside the telescope."""
+        return self is Spoofing.AMPLIFIED
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,42 @@ class AttackVector:
     def icmp_flood(cls, pps: float,
                    spoofing: Spoofing = Spoofing.RANDOM) -> "AttackVector":
         return cls(PROTO_ICMP, (), pps, spoofing)
+
+
+@dataclass(frozen=True)
+class AmplificationProfile:
+    """The reflection side of an amplified attack.
+
+    An amplification attack never hits the victim directly: the
+    attacker queries ``n_amplifiers`` open resolvers at ``query_pps``
+    with the source spoofed as the victim, and each query elicits a
+    response ``mean_baf`` times larger. Amplifier lists are harvested
+    by scanning and go stale; ``list_darknet_share`` is the fraction of
+    list entries that (no longer) answer and fall inside the darknet —
+    the telescope's only view of this attack class (see
+    :mod:`repro.telescope.reflector`).
+    """
+
+    n_amplifiers: int
+    mean_baf: float
+    query_pps: float
+    list_darknet_share: float
+    qtype: str = "ANY"
+
+    def __post_init__(self) -> None:
+        if self.n_amplifiers <= 0:
+            raise ValueError("n_amplifiers must be positive")
+        if self.mean_baf < 1.0:
+            raise ValueError("mean_baf must be at least 1 (amplification)")
+        if self.query_pps <= 0:
+            raise ValueError("query_pps must be positive")
+        if not 0 <= self.list_darknet_share <= 1:
+            raise ValueError("list_darknet_share must be within [0, 1]")
+
+    @property
+    def darknet_list_entries(self) -> int:
+        """Stale amplifier-list entries that point into the darknet."""
+        return int(round(self.n_amplifiers * self.list_darknet_share))
 
 
 @dataclass(frozen=True)
@@ -141,6 +188,11 @@ class Attack:
     #: means the full IPv4 space; bounded pools reproduce the paper's
     #: "attacker IP count" magnitudes (Table 2).
     spoof_pool_size: Optional[int] = None
+    #: Reflection parameters of an amplified attack (``None`` for
+    #: direct/backscatter-class attacks). When set, the darknet can see
+    #: the attack as reflector queries even though it produces no
+    #: backscatter.
+    amplification: Optional[AmplificationProfile] = None
 
     def __post_init__(self) -> None:
         if not self.vectors:
@@ -149,6 +201,10 @@ class Attack:
             raise ValueError("response_ratio must be within (0, 1]")
         if self.spoof_pool_size is not None and self.spoof_pool_size <= 0:
             raise ValueError("spoof_pool_size must be positive")
+        if self.amplification is not None and not any(
+                v.spoofing is Spoofing.AMPLIFIED for v in self.vectors):
+            raise ValueError(
+                "an amplification profile needs an AMPLIFIED vector")
 
     # -- rates ----------------------------------------------------------------
 
@@ -228,6 +284,13 @@ class Attack:
     @property
     def telescope_visible(self) -> bool:
         return any(v.spoofing.telescope_visible for v in self.vectors)
+
+    @property
+    def reflector_visible(self) -> bool:
+        """Observable at the darknet as reflector queries."""
+        return (self.amplification is not None
+                and self.amplification.darknet_list_entries > 0
+                and any(v.spoofing.reflector_visible for v in self.vectors))
 
     @property
     def victim_slash24(self) -> int:

@@ -1,0 +1,246 @@
+"""The wartime scenario pack: correlated geopolitical attack waves.
+
+The paper's §5.2 case studies (mil.ru, RZD) are two hand-scripted
+snapshots of a much broader phenomenon: after February 2022, DDoS
+against Russian state and infrastructure targets arrived in *waves* —
+many organizations of one country hit in the same few days, repeatedly.
+This pack generalizes the scripted pair: it enriches the world with
+additional target-country sector organizations (government, banking,
+media, transport) and schedules correlated attack waves across every
+provider whose organization carries the target country code — which
+picks up the scripted mil.ru/RZD providers too, when scenarios are
+installed.
+
+Attacks mix spoofing classes the way the paper's §2.1 taxonomy does:
+a ``reflected_share`` of each wave's floods are spoofed-as-victim
+(telescope-invisible), exercising the visibility-limitations analysis
+at campaign scale.
+
+All randomness draws from ``pack:wartime`` streams; selecting the pack
+never perturbs the background build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.attacks.model import Attack, AttackVector, Spoofing
+from repro.attacks.packs import ScenarioPack, register_pack
+from repro.net.ports import PORT_DNS, PROTO_UDP
+from repro.util.timeutil import DAY, HOUR, MINUTE, Window
+
+__all__ = ["WartimeParams", "WartimePack", "WartimeWave", "WartimeAnalysis"]
+
+#: sector names used for the enrichment organizations.
+SECTORS = ("gov", "bank", "media", "transport", "energy")
+
+
+@dataclass(frozen=True)
+class WartimeParams:
+    """Knobs of the wartime pack (all fingerprinted)."""
+
+    #: organizations of this country code are wave targets.
+    target_country: str = "RU"
+    #: extra sector organizations/providers installed into the world.
+    n_extra_orgs: int = 4
+    #: number of correlated attack waves.
+    n_waves: int = 3
+    #: length of one wave in days.
+    wave_days: int = 2
+    #: quiet days between waves.
+    gap_days: int = 9
+    #: peak flood rate per victim nameserver (pps).
+    intensity_pps: float = 60_000.0
+    #: share of each wave's floods that are reflected (spoofed-as-
+    #: victim, telescope-invisible) rather than randomly spoofed.
+    reflected_share: float = 0.4
+    #: first wave starts this many days into the timeline; ``None``
+    #: centers the campaign on the timeline's final quarter (the
+    #: February-2022 flavour of the paper window).
+    start_day: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_extra_orgs < 0 or self.n_waves < 1:
+            raise ValueError("need at least one wave")
+        if self.wave_days < 1 or self.gap_days < 0:
+            raise ValueError("invalid wave spacing")
+        if self.intensity_pps <= 0:
+            raise ValueError("intensity must be positive")
+        if not 0 <= self.reflected_share <= 1:
+            raise ValueError("reflected_share must be within [0, 1]")
+
+
+@dataclass
+class WartimeWave:
+    """One wave of the campaign timeline."""
+
+    index: int
+    start: int
+    end: int
+    n_attacks: int
+    n_orgs: int
+    spoofed_visible: int   # attacks with a randomly-spoofed vector
+
+
+@dataclass
+class WartimeAnalysis:
+    """The per-wave campaign timeline."""
+
+    target_country: str
+    waves: List[WartimeWave]
+
+    @property
+    def n_attacks(self) -> int:
+        return sum(w.n_attacks for w in self.waves)
+
+
+@register_pack
+class WartimePack(ScenarioPack):
+    """Correlated attack waves against one country's organizations."""
+
+    name = "wartime"
+    description = ("correlated geopolitical attack waves with "
+                   "target-country org enrichment (mil.ru/RZD "
+                   "generalized)")
+
+    @classmethod
+    def default_params(cls):
+        return WartimeParams()
+
+    # -- world enrichment ----------------------------------------------------
+
+    def install_world(self, world, gen) -> None:
+        """Add target-country sector orgs and self-hosted providers."""
+        from repro.dns.name import DomainName
+        from repro.world.domains import _delegation_for
+        from repro.world.hosting import (DeploymentProfile, ProfileKind,
+                                         build_provider)
+
+        p: WartimeParams = self.params
+        rng = world.rngs.stream("pack:wartime", "install")
+        internet = world.internet
+        cc = p.target_country.lower()
+        for i in range(p.n_extra_orgs):
+            sector = SECTORS[i % len(SECTORS)]
+            org = internet.add_org(
+                f"{p.target_country} {sector} #{i + 1}",
+                country=p.target_country)
+            asys = internet.add_as(org, number=210_000 + i,
+                                   country=p.target_country)
+            profile = DeploymentProfile(
+                ProfileKind.SELF_HOSTED,
+                n_nameservers=2 + (i % 2), n_prefixes=1,
+                server_capacity_pps=float(rng.choice((20_000, 30_000, 50_000))),
+                link_bps=1e9)
+            name = f"{p.target_country}-{sector}-{i + 1}"
+            provider = build_provider(
+                internet, rng, name, org, [asys], profile, weight=0.0,
+                ns_domain=f"{sector}{i + 1}.{cc}")
+            world.add_provider(provider)
+            world.directory.add(
+                DomainName(f"{sector}{i + 1}.{cc}"), provider,
+                _delegation_for(provider, None, f"{sector}{i + 1}.{cc}"))
+
+    # -- schedule ------------------------------------------------------------
+
+    def _target_providers(self, world) -> List:
+        p: WartimeParams = self.params
+        return [prov for name, prov in sorted(world.providers.items())
+                if prov.org is not None
+                and prov.org.country == p.target_country]
+
+    def generate_attacks(self, world) -> List[Attack]:
+        p: WartimeParams = self.params
+        rng = world.rngs.stream("pack:wartime", "schedule")
+        providers = self._target_providers(world)
+        if not providers:
+            return []
+        timeline = world.timeline
+        n_days = max(1, timeline.window.duration // DAY)
+        campaign_days = p.n_waves * p.wave_days \
+            + (p.n_waves - 1) * p.gap_days
+        if p.start_day is not None:
+            first = p.start_day
+        else:
+            first = max(0, int(n_days * 0.75) - campaign_days // 2)
+        attacks: List[Attack] = []
+        for wave in range(p.n_waves):
+            day0 = first + wave * (p.wave_days + p.gap_days)
+            wave_start = timeline.window.start + day0 * DAY
+            for provider in providers:
+                # Waves escalate: later waves hit harder and longer.
+                scale = 1.0 + 0.35 * wave
+                offset = rng.randrange(0, p.wave_days * DAY - 8 * HOUR, MINUTE)
+                duration = rng.randrange(2 * HOUR, 8 * HOUR, MINUTE)
+                start = wave_start + offset
+                end = start + int(duration * scale)
+                if not (start in timeline and end <= timeline.end):
+                    continue
+                reflected = rng.random() < p.reflected_share
+                for ns in provider.nameservers:
+                    rate = p.intensity_pps * scale \
+                        * (0.8 + rng.random() * 0.4)
+                    if reflected:
+                        vectors = [AttackVector(
+                            PROTO_UDP, (PORT_DNS,), rate,
+                            Spoofing.REFLECTED, 1400)]
+                    else:
+                        vectors = [AttackVector.udp_flood(PORT_DNS, rate)]
+                    attacks.append(Attack(
+                        victim_ip=ns.ip, window=Window(start, end),
+                        vectors=vectors,
+                        spoof_pool_size=None if reflected
+                        else rng.randrange(500_000, 5_000_000)))
+        return attacks
+
+    # -- analysis ------------------------------------------------------------
+
+    def _wave_windows(self, world) -> List[Window]:
+        p: WartimeParams = self.params
+        timeline = world.timeline
+        n_days = max(1, timeline.window.duration // DAY)
+        campaign_days = p.n_waves * p.wave_days \
+            + (p.n_waves - 1) * p.gap_days
+        if p.start_day is not None:
+            first = p.start_day
+        else:
+            first = max(0, int(n_days * 0.75) - campaign_days // 2)
+        out = []
+        for wave in range(p.n_waves):
+            day0 = first + wave * (p.wave_days + p.gap_days)
+            start = timeline.window.start + day0 * DAY
+            # Escalating durations can spill past the nominal wave days.
+            out.append(Window(start, start + (p.wave_days + 1) * DAY))
+        return out
+
+    def analyze(self, study) -> WartimeAnalysis:
+        p: WartimeParams = self.params
+        providers = self._target_providers(study.world)
+        target_ips = {ns.ip for prov in providers
+                      for ns in prov.nameservers}
+        ip_org = {ns.ip: prov.org.name for prov in providers
+                  for ns in prov.nameservers}
+        waves: List[WartimeWave] = []
+        for i, window in enumerate(self._wave_windows(study.world)):
+            hits = [a for a in study.world.attacks
+                    if a.victim_ip in target_ips
+                    and a.window.start < window.end
+                    and window.start < a.window.end]
+            waves.append(WartimeWave(
+                index=i, start=window.start, end=window.end,
+                n_attacks=len(hits),
+                n_orgs=len({ip_org[a.victim_ip] for a in hits}),
+                spoofed_visible=sum(1 for a in hits
+                                    if a.telescope_visible)))
+        return WartimeAnalysis(target_country=p.target_country, waves=waves)
+
+    def report_section(self, study) -> Optional[str]:
+        analysis = self.analyze(study)
+        lines = [f"Wartime pack ({analysis.target_country} waves)",
+                 "-----------------------------------------------"]
+        for w in analysis.waves:
+            lines.append(
+                f"  wave {w.index + 1}: {w.n_attacks} attacks on "
+                f"{w.n_orgs} orgs ({w.spoofed_visible} telescope-visible)")
+        return "\n".join(lines)

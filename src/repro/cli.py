@@ -17,6 +17,11 @@ Subcommands:
 ``cache``
     Inspect and maintain an artifact cache directory: ``ls`` the
     manifest, ``gc`` down to a byte cap, or ``clear`` everything.
+``packs``
+    List the registered scenario packs (:mod:`repro.attacks.packs`):
+    ``packs ls`` prints each pack's name and description. Study
+    commands select one with ``--scenario-pack``; unknown names are
+    rejected with the list of available packs.
 ``graph``
     Print the declared phase DAG (:mod:`repro.engine`) — every
     pipeline phase and lazy analysis with its inputs — as text or,
@@ -66,6 +71,7 @@ import sys
 from typing import List, Optional
 
 from repro import ChaosConfig, WorldConfig, run_study
+from repro.attacks.packs import UnknownPackError
 from repro.core.visibility import analyze_visibility
 from repro.datasets.io import dataset_bundle_dump
 from repro.obs import NULL_TELEMETRY, RunTelemetry
@@ -80,6 +86,11 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--start", default="2020-11-01")
     parser.add_argument("--end", default="2022-04-01",
                         help="end date, exclusive")
+    parser.add_argument("--scenario-pack", default="volumetric",
+                        metavar="NAME",
+                        help="run under scenario pack NAME (see `repro "
+                             "packs ls`; default volumetric = the plain "
+                             "background schedule)")
     parser.add_argument("--chaos", choices=("light", "moderate", "heavy"),
                         default=None, metavar="LEVEL",
                         help="inject seeded faults at LEVEL "
@@ -182,6 +193,7 @@ def _config_from(args: argparse.Namespace) -> WorldConfig:
         end_exclusive=args.end,
         n_domains=args.domains,
         attacks_per_month=args.attacks_per_month,
+        scenario_pack=getattr(args, "scenario_pack", "volumetric"),
     )
 
 
@@ -338,6 +350,23 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"cleared {dropped} entries from {args.cache_dir}")
         return 0
     raise AssertionError(f"unknown cache action {args.action!r}")
+
+
+def cmd_packs(args: argparse.Namespace) -> int:
+    from repro.attacks.packs import available_packs, get_pack
+
+    # Only `ls` today; argparse enforces the choice.
+    table = Table(["pack", "description"],
+                  title="Registered scenario packs")
+    for name in available_packs():
+        pack = get_pack(name)
+        table.add_row([name + (" (default)" if name == "volumetric"
+                               else ""),
+                       pack.description])
+    table.caption = ("select one with --scenario-pack NAME on report/"
+                     "export/visibility runs")
+    print(table.render())
+    return 0
 
 
 def cmd_graph(args: argparse.Namespace) -> int:
@@ -614,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p_reactive)
     p_reactive.set_defaults(func=cmd_reactive)
 
+    p_packs = sub.add_parser("packs",
+                             help="list the registered scenario packs")
+    p_packs.add_argument("action", choices=("ls",))
+    p_packs.set_defaults(func=cmd_packs)
+
     p_graph = sub.add_parser("graph",
                              help="print the declared phase DAG")
     p_graph.add_argument("--dot", action="store_true",
@@ -637,7 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownPackError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -121,6 +121,38 @@ def _chaos_enabled(ctx: RunContext) -> bool:
     return ctx.params.get("injector") is not None
 
 
+def _pack_of(ctx: RunContext):
+    """The run's scenario pack (see :mod:`repro.attacks.packs`).
+
+    Prefers the pre-built world's installed pack; otherwise instantiates
+    from the config — both routes are cheap and deterministic, so the
+    ``enabled`` gates of the pack-conditional nodes can call this before
+    the world phase has produced a value.
+    """
+    world = ctx.params.get("world")
+    if world is not None:
+        pack = getattr(world, "pack", None)
+        if pack is not None:
+            return pack
+    config = ctx.params.get("config")
+    if config is None:
+        return None
+    from repro.attacks.packs import get_pack
+
+    return get_pack(config.scenario_pack, config.pack_params)
+
+
+def _reflector_enabled(ctx: RunContext) -> bool:
+    pack = _pack_of(ctx)
+    return (pack is not None
+            and pack.telescope_signature().reflector_queries)
+
+
+def _counterfactual_enabled(ctx: RunContext) -> bool:
+    pack = _pack_of(ctx)
+    return pack is not None and pack.has_counterfactuals
+
+
 def _build_configured_world(ctx: RunContext) -> World:
     return build_world(ctx.params["config"],
                        install_scenarios=ctx.params["install_scenarios"])
@@ -177,13 +209,29 @@ def _harden_feed(ctx: RunContext, feed: RSDoSFeed) -> List:
     return ctx.params["injector"].harden_feed(feed.attacks)
 
 
+def _observe_reflectors(ctx: RunContext, world: World):
+    """The pack's extra darknet branch (amplification reflector queries)."""
+    pack = getattr(world, "pack", None) or _pack_of(ctx)
+    return pack.observe_darknet(world)
+
+
+def _merge_curated_feeds(ctx: RunContext, feed_attacks, reflector_feed):
+    """Merge the backscatter feed with the reflector branch's inferred
+    attacks into the one curated feed the join consumes."""
+    if not reflector_feed:
+        return feed_attacks
+    merged = list(feed_attacks) + reflector_feed.inferred_attacks()
+    merged.sort(key=lambda a: (a.start, a.victim_ip))
+    return merged
+
+
 def _scan_open_resolvers(ctx: RunContext, world: World) -> OpenResolverScan:
     return OpenResolverScan.from_world(world)
 
 
-def _join_feed_and_crawl(ctx: RunContext, feed_attacks, world: World,
+def _join_feed_and_crawl(ctx: RunContext, curated_feed, world: World,
                          open_resolvers: OpenResolverScan) -> DatasetJoin:
-    return join_datasets(feed_attacks, world.directory, open_resolvers)
+    return join_datasets(curated_feed, world.directory, open_resolvers)
 
 
 def _build_metadata(ctx: RunContext, world: World) -> NSSetMetadata:
@@ -203,6 +251,12 @@ def _extract_events(ctx: RunContext, join: DatasetJoin,
         return extract_events_frame(join, frame, metadata,
                                     min_domains=min_domains)
     return extract_events(join, store, metadata, min_domains=min_domains)
+
+
+def _run_counterfactuals(ctx: RunContext, world: World, events):
+    """The pack's mitigation counterfactuals over the finished events."""
+    pack = getattr(world, "pack", None) or _pack_of(ctx)
+    return pack.counterfactuals(world, events)
 
 
 def _publish_store_metrics(ctx: RunContext,
@@ -254,6 +308,23 @@ STUDY_PHASES = (
               "survivors": len(survivors),
               "dead_letters": len(ctx.params["injector"].dead_letters)},
           doc="chaos: re-validate the faulted feed (retries, dead letters)"),
+    Phase("pack_telescope",
+          compute=_observe_reflectors,
+          inputs=("world",),
+          provides="reflector_feed",
+          enabled=_reflector_enabled,
+          fallback=lambda ctx, world: None,
+          annotations=lambda feed, ctx: {
+              "reflections": len(feed) if feed else 0},
+          doc="pack: reflector-query inference branch (amplification)"),
+    Phase("pack_feed",
+          compute=_merge_curated_feeds,
+          inputs=("feed_attacks", "reflector_feed"),
+          provides="curated_feed",
+          enabled=_reflector_enabled,
+          fallback=lambda ctx, feed_attacks, reflector_feed: feed_attacks,
+          annotations=lambda merged, ctx: {"records": len(merged)},
+          doc="pack: merge backscatter + reflector feeds for the join"),
     Phase("open_resolvers",
           compute=_scan_open_resolvers,
           inputs=("world",),
@@ -261,7 +332,7 @@ STUDY_PHASES = (
           doc="open-resolver scan used to filter reflection targets"),
     Phase("join",
           compute=_join_feed_and_crawl,
-          inputs=("feed_attacks", "world", "open_resolvers"),
+          inputs=("curated_feed", "world", "open_resolvers"),
           cache_key="join",
           annotations=lambda join, ctx: {
               "records": len(join.classified),
@@ -278,6 +349,14 @@ STUDY_PHASES = (
           cache_key="events",
           annotations=lambda events, ctx: {"events": len(events)},
           doc="attack events with per-window impact series"),
+    Phase("counterfactuals",
+          compute=_run_counterfactuals,
+          inputs=("world", "events"),
+          enabled=_counterfactual_enabled,
+          fallback=lambda ctx, world, events: None,
+          annotations=lambda report, ctx: {
+              "attacks": report.n_attacks if report else 0},
+          doc="pack: layered-mitigation impact deltas (defense)"),
     Phase("store_metrics",
           compute=_publish_store_metrics,
           inputs=("store",),
@@ -319,6 +398,12 @@ class Study:
     join: DatasetJoin
     metadata: NSSetMetadata
     events: List[AttackEvent]
+    #: the reflector-query feed of the pack's extra telescope branch
+    #: (None unless the pack declares ``reflector_queries``).
+    reflector_feed: Optional[object] = None
+    #: the pack's mitigation counterfactual report (None unless the
+    #: pack declares ``has_counterfactuals``).
+    counterfactuals: Optional[object] = None
     #: the fault injector of a chaos run (None on clean runs); carries
     #: the injected-fault log and the feed job's dead letters.
     chaos: Optional["FaultInjector"] = None
@@ -329,6 +414,22 @@ class Study:
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = NULL_TELEMETRY
+
+    @property
+    def pack(self):
+        """The run's scenario pack (see :mod:`repro.attacks.packs`)."""
+        pack = getattr(self.world, "pack", None)
+        if pack is not None:
+            return pack
+        from repro.attacks.packs import get_pack
+
+        return get_pack(self.config.scenario_pack, self.config.pack_params)
+
+    def pack_analysis(self):
+        """The pack's own analysis of this study (``None`` for packs
+        that add nothing, e.g. the default volumetric pack)."""
+        pack = self.pack
+        return pack.analyze(self) if pack is not None else None
 
     @property
     def degraded_events(self) -> List[AttackEvent]:
@@ -576,8 +677,10 @@ def run_study(config: Optional[WorldConfig] = None,
                       feed=values["feed"], store=values["store"],
                       open_resolvers=values["open_resolvers"],
                       join=values["join"], metadata=values["metadata"],
-                      events=values["events"], chaos=injector,
-                      telemetry=telemetry)
+                      events=values["events"],
+                      reflector_feed=values.get("reflector_feed"),
+                      counterfactuals=values.get("counterfactuals"),
+                      chaos=injector, telemetry=telemetry)
         if jnl.enabled:
             if study.degraded:
                 jnl.emit("degraded",

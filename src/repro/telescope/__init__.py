@@ -16,6 +16,15 @@ from repro.telescope.rsdos import (
     attack_problem,
 )
 from repro.telescope.feed import FeedRecord, RSDoSFeed, ppm_to_victim_pps
+from repro.telescope.reflector import (
+    InferredReflection,
+    ReflectorClassifier,
+    ReflectorFeed,
+    ReflectorObservation,
+    ReflectorSimulator,
+    ReflectorThresholds,
+    match_reflections,
+)
 
 __all__ = [
     "Darknet",
@@ -29,4 +38,11 @@ __all__ = [
     "FeedRecord",
     "RSDoSFeed",
     "ppm_to_victim_pps",
+    "ReflectorObservation",
+    "ReflectorThresholds",
+    "InferredReflection",
+    "ReflectorSimulator",
+    "ReflectorClassifier",
+    "ReflectorFeed",
+    "match_reflections",
 ]

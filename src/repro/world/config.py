@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.attacks.generator import AttackScheduleConfig
+from repro.attacks.packs import DEFAULT_PACK, validate_pack_name
 from repro.dns.resolver import ResolverConfig
 from repro.util.timeutil import Timeline
 
@@ -54,6 +55,17 @@ class WorldConfig:
     dns_attack_fraction: float = 0.0075
     schedule: AttackScheduleConfig = field(default=None)  # type: ignore[assignment]
 
+    # -- scenario pack -----------------------------------------------------------
+    #: the attack-class plugin driving extra world/schedule/telescope
+    #: hooks (see :mod:`repro.attacks.packs`); ``volumetric`` is the
+    #: paper's model and adds nothing to the background above.
+    scenario_pack: str = DEFAULT_PACK
+    #: the selected pack's parameter dataclass (``None`` = pack
+    #: defaults). Canonicalized into every fingerprint, so changing a
+    #: pack knob invalidates caches and serve day-keys like any other
+    #: config field.
+    pack_params: object = None
+
     # -- measurement ---------------------------------------------------------------
     vantage_region: str = "eu-west"  # OpenINTEL probes from the Netherlands
     resolver: ResolverConfig = field(default_factory=ResolverConfig)
@@ -88,6 +100,7 @@ class WorldConfig:
                 raise ValueError(f"{name} must be within [0, 1]")
         if not 0 < self.headroom <= 1:
             raise ValueError("headroom must be within (0, 1]")
+        validate_pack_name(self.scenario_pack)
         if self.schedule is None:
             # Hot-target counts in Table 5 are 17-month totals; the
             # generator spreads a count of ``paper_count x scale`` over

@@ -165,6 +165,7 @@ class World:
         self.as2org: Optional[AS2Org] = None
         self.open_resolver_ips: Set[int] = set()
         self.internet = None  # set by build_world
+        self.pack = None  # ScenarioPack instance, set by build_world
         self._index: Optional[AttackIndex] = None
         self._attack_weights: Dict[int, Tuple[float, float, float]] = {}
         self._vantage_site: Dict[int, Tuple[float, float]] = {}  # ip -> (share, cap)
@@ -371,7 +372,10 @@ def build_world(config: Optional[WorldConfig] = None,
     scripted case studies).
     """
     config = config or WorldConfig()
+    from repro.attacks.packs import get_pack
+    pack = get_pack(config.scenario_pack, config.pack_params)
     world = World(config)
+    world.pack = pack
     rng_topo = world.rngs.stream("topology")
     gen = generate_topology(rng_topo, TopologyConfig())
     world.internet = gen.internet
@@ -410,6 +414,12 @@ def build_world(config: Optional[WorldConfig] = None,
         from repro.world import scenarios
         scenarios.install_scenario_infrastructure(world, gen)
 
+    # Pack infrastructure lands after the scripted scenarios and before
+    # the routing tables are derived, so pack providers resolve through
+    # prefix2AS/AS2Org like everything else. Packs draw only from
+    # ``pack:<name>`` streams, so the background build is unperturbed.
+    pack.install_world(world, gen)
+
     world.prefix2as = Prefix2AS.from_topology(gen.internet)
     world.as2org = AS2Org.from_topology(gen.internet)
 
@@ -421,6 +431,11 @@ def build_world(config: Optional[WorldConfig] = None,
     if install_scenarios:
         from repro.world import scenarios
         world.attacks.extend(scenarios.scenario_attacks(world))
+        world.attacks.sort(key=lambda a: (a.window.start, a.victim_ip))
+
+    extra = pack.generate_attacks(world)
+    if extra:
+        world.attacks.extend(extra)
         world.attacks.sort(key=lambda a: (a.window.start, a.victim_ip))
 
     world.finalize_attacks()

@@ -389,3 +389,52 @@ class TestReactiveCommand:
             metrics = json.load(fh)["metrics"]
         assert metrics["counters"]["repro.reactive.triggers"] == 30
         assert "repro.reactive.trigger_latency_s" in metrics["histograms"]
+
+
+class TestPacksCommand:
+    def test_packs_ls_lists_every_registered_pack(self, capsys):
+        from repro.attacks.packs import available_packs
+
+        assert main(["packs", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered scenario packs" in out
+        for name in available_packs():
+            assert name in out
+        assert "volumetric (default)" in out
+
+    def test_packs_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["packs"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["packs", "rm"])
+
+    def test_scenario_pack_flag_on_study_subcommands(self):
+        for argv in (["report"], ["export"], ["visibility"]):
+            args = build_parser().parse_args(
+                argv + ["--scenario-pack", "amplification"])
+            assert args.scenario_pack == "amplification"
+        assert build_parser().parse_args(["report"]).scenario_pack \
+            == "volumetric"
+
+    def test_unknown_pack_is_rejected_with_the_listing(self, capsys):
+        from repro.attacks.packs import available_packs
+
+        assert main(["report", "--scenario-pack", "slowloris"]
+                    + FAST_ARGS) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario pack 'slowloris'" in err
+        for name in available_packs():
+            assert name in err
+
+    def test_amplification_run_prints_the_pack_section(self, capsys):
+        assert main(["report", "--scenario-pack", "amplification"]
+                    + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Amplification pack (reflector-query branch)" in out
+
+    def test_volumetric_flag_is_byte_identical_to_default(self, capsys):
+        assert main(["report"] + FAST_ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(["report", "--scenario-pack", "volumetric"]
+                    + FAST_ARGS) == 0
+        assert capsys.readouterr().out == plain

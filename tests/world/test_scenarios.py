@@ -132,3 +132,93 @@ class TestTable6Targets:
     def test_all_targets_are_providers(self, tiny_world):
         for name, _, _ in TABLE6_TARGETS:
             assert name in tiny_world.providers
+
+
+class TestCampaignSpoofingVisibility:
+    """Per-campaign spoofing mix, and the visibility accounting the
+    ``bench_limitations_visibility`` oracle relies on: class membership
+    is exactly ``Spoofing.telescope_visible`` over the vectors."""
+
+    @pytest.fixture(scope="class")
+    def builders(self, tiny_world):
+        from repro.world.scenarios import (failure_case_campaigns,
+                                           mega_peak_campaigns,
+                                           table6_campaigns)
+
+        return {
+            "transip": transip_campaigns(tiny_world),
+            "russia": russia_campaigns(tiny_world),
+            "failure": failure_case_campaigns(tiny_world),
+            "table6": table6_campaigns(tiny_world),
+            "mega": mega_peak_campaigns(tiny_world),
+        }
+
+    def test_every_campaign_is_telescope_visible(self, builders):
+        # Each scripted campaign carries at least one randomly-spoofed
+        # vector per attack — the telescope can see all of them.
+        for campaigns in builders.values():
+            for campaign in campaigns:
+                assert campaign.attacks
+                for attack in campaign.attacks:
+                    assert attack.telescope_visible
+
+    def test_pure_spoofed_campaigns_show_their_full_rate(self, builders):
+        for key in ("transip", "failure", "table6", "mega"):
+            for campaign in builders[key]:
+                for attack in campaign.attacks:
+                    assert not attack.is_multi_vector
+                    assert attack.spoofed_pps == attack.total_pps
+
+    def test_milru_mixes_visible_and_reflected_vectors(self, builders):
+        from repro.attacks.model import Spoofing
+
+        milru, rzd = builders["russia"]
+        for attack in milru.attacks:
+            spoofings = {v.spoofing for v in attack.vectors}
+            assert spoofings == {Spoofing.RANDOM, Spoofing.REFLECTED}
+            assert attack.is_multi_vector
+            # The severe reflected component is invisible: the darknet
+            # sees only the modest randomly-spoofed share.
+            assert 0 < attack.spoofed_pps < attack.total_pps
+        for attack in rzd.attacks:
+            assert attack.spoofed_pps == attack.total_pps
+
+    def test_visibility_class_membership_matches_spoofing(self, builders):
+        from repro.core.visibility import _classify
+
+        for campaigns in builders.values():
+            for campaign in campaigns:
+                for attack in campaign.attacks:
+                    name = _classify(attack)
+                    if not attack.telescope_visible:
+                        assert name == "invisible (reflected/unspoofed)"
+                    elif attack.is_multi_vector:
+                        assert name == "multi-vector (partially visible)"
+                    else:
+                        assert name == "randomly spoofed (visible)"
+
+    def test_oracle_accounting_matches_ground_truth(self, tiny_study):
+        """The bench_limitations_visibility totals, re-derived: the
+        per-class totals in ``analyze_visibility`` must partition the
+        schedule exactly as ``Spoofing.telescope_visible`` does."""
+        from repro.core.visibility import analyze_visibility
+
+        attacks = tiny_study.world.attacks
+        report = analyze_visibility(attacks, tiny_study.feed)
+        assert report.n_truth == len(attacks)
+        assert sum(total for _, total in report.by_class.values()) \
+            == len(attacks)
+        n_invisible = sum(1 for a in attacks if not a.telescope_visible)
+        n_multi = sum(1 for a in attacks
+                      if a.telescope_visible and a.is_multi_vector)
+        n_pure = len(attacks) - n_invisible - n_multi
+        assert report.by_class.get(
+            "invisible (reflected/unspoofed)", (0, 0))[1] == n_invisible
+        assert report.by_class.get(
+            "multi-vector (partially visible)", (0, 0))[1] == n_multi
+        assert report.by_class.get(
+            "randomly spoofed (visible)", (0, 0))[1] == n_pure
+        # Invisible attacks are (essentially) never detected; visible
+        # pure-spoofed ones almost always are — the §4.3 bench gate.
+        assert report.class_rate("invisible (reflected/unspoofed)") < 0.05
+        assert report.class_rate("randomly spoofed (visible)") > 0.8
